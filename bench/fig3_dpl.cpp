@@ -1,0 +1,64 @@
+// fig3_dpl — reproduces Figure 3: Discriminating Prefix Length CDFs for
+// each z64 target set (a) on its own and (b) in combination with all sets.
+#include "bench/common.hpp"
+
+using namespace beholder6;
+
+int main() {
+  bench::World world;
+  const char* names[] = {"fiebig", "fdns_any", "cdn-k256", "cdn-k32",
+                         "6gen",   "dnsdb",    "caida",    "tum"};
+  std::vector<bench::NamedSet> sets;
+  for (const auto* n : names) sets.push_back(world.synth(n, 64));
+
+  std::vector<const target::TargetSet*> ptrs;
+  for (const auto& s : sets) ptrs.push_back(&s.set);
+  const auto combined = target::combine(ptrs, "combined-z64");
+  const auto comb_dpl = target::dpl_of(combined.addrs);
+
+  const unsigned ticks[] = {24, 28, 32, 36, 40, 44, 48, 52, 56, 60, 64};
+
+  auto print_cdf_row = [&](const std::string& name, const std::vector<double>& cdf) {
+    std::printf("%-12s", name.c_str());
+    for (const auto t : ticks) std::printf(" %5.2f", cdf[t]);
+    std::printf("\n");
+  };
+
+  std::printf("Figure 3a: DPL CDF per target set, alone\n");
+  bench::rule('=');
+  std::printf("%-12s", "DPL<=");
+  for (const auto t : ticks) std::printf(" %5u", t);
+  std::printf("\n");
+  bench::rule();
+  for (const auto& s : sets)
+    print_cdf_row(s.seed_name, target::dpl_cdf(target::dpl_of(s.set.addrs)));
+  print_cdf_row("combined", target::dpl_cdf(comb_dpl));
+
+  std::printf("\nFigure 3b: DPL CDF per set, when combined with all others\n");
+  bench::rule('=');
+  std::printf("%-12s", "DPL<=");
+  for (const auto t : ticks) std::printf(" %5u", t);
+  std::printf("\n");
+  bench::rule();
+  for (const auto& s : sets) {
+    // DPL of this set's addresses *within* the combined set.
+    std::vector<unsigned> own;
+    std::size_t j = 0;
+    std::vector<Ipv6Addr> sorted = s.set.addrs;  // already sorted
+    for (std::size_t i = 0; i < combined.addrs.size() && j < sorted.size(); ++i) {
+      if (combined.addrs[i] == sorted[j]) {
+        own.push_back(comb_dpl[i]);
+        ++j;
+      }
+    }
+    print_cdf_row(s.seed_name, target::dpl_cdf(own));
+  }
+  bench::rule();
+  std::printf(
+      "Expected shape (paper): alone — caida has ~50%% of DPLs below 48"
+      " (breadth, little depth) while fiebig has\n>70%% at 64 (dense runs);"
+      " combined — small sets (caida, dnsdb) shift right as other sets'"
+      " addresses\ninterleave with theirs, while the large sets (cdn-k32,"
+      " 6gen, tum) and the dense fiebig barely move.\n");
+  return 0;
+}

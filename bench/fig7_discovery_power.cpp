@@ -1,0 +1,56 @@
+// fig7_discovery_power — reproduces Figure 7: unique interface addresses
+// discovered as a function of probes emitted (log-log), per z64 target set,
+// from the EU-NET vantage.
+#include "bench/common.hpp"
+
+using namespace beholder6;
+
+int main(int argc, char** argv) {
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.6;
+  bench::World world{scale};
+  const simnet::VantageInfo* eu = nullptr;
+  for (const auto& v : world.topo.vantages())
+    if (v.name == "EU-NET") eu = &v;
+
+  std::printf("Figure 7: discovery power per z64 target set (EU-NET vantage)\n");
+  bench::rule('=');
+  std::printf("%-10s %10s %10s   discovery curve (probes:addrs)\n", "Set",
+              "Probes", "IntAddrs");
+  bench::rule();
+
+  struct Final {
+    std::string name;
+    std::uint64_t probes;
+    std::size_t addrs;
+  };
+  std::vector<Final> finals;
+
+  for (const auto* name : {"rand", "6gen", "caida", "cdn-k256", "cdn-k32",
+                           "dnsdb", "fdns_any", "fiebig", "tum"}) {
+    const auto real = std::string(name) == "rand" ? "random" : name;
+    const auto set = world.synth(real, 64);
+    prober::Yarrp6Config cfg;
+    cfg.pps = 1000;
+    cfg.max_ttl = 16;
+    const auto c = bench::run_yarrp(world.topo, *eu, set.set.addrs, cfg);
+    std::printf("%-10s %10s %10s   ", name,
+                bench::human(static_cast<double>(c.probe_stats.probes_sent)).c_str(),
+                bench::human(static_cast<double>(c.collector.interfaces().size())).c_str());
+    // Log-spaced samples of the curve.
+    const auto& curve = c.collector.discovery_curve();
+    std::size_t step = std::max<std::size_t>(1, curve.size() / 8);
+    for (std::size_t i = 0; i < curve.size(); i += step)
+      std::printf("%s:%s ",
+                  bench::human(static_cast<double>(curve[i].probes)).c_str(),
+                  bench::human(static_cast<double>(curve[i].unique_interfaces)).c_str());
+    std::printf("\n");
+    finals.push_back({name, c.probe_stats.probes_sent, c.collector.interfaces().size()});
+  }
+  bench::rule();
+  std::printf(
+      "Expected shape (paper): caida performs best early but exhausts and"
+      " flattens; random starts fine then drops\noff a cliff; 6gen mirrors"
+      " random at a fixed positive offset; cdn-k32 and tum keep discovering"
+      " ~linearly\nthroughout and finish far ahead (cdn-k32 first).\n");
+  return 0;
+}

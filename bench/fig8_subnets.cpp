@@ -1,0 +1,60 @@
+// fig8_subnets — reproduces Figure 8: subnets inferred by path divergence
+// per z64 target set: (a) the CDF of inferred minimum prefix lengths and
+// (b) counts by prefix length, including the IA-hack /64 pinnings.
+#include "bench/common.hpp"
+
+#include "analysis/pathdiv.hpp"
+
+using namespace beholder6;
+
+int main(int argc, char** argv) {
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.6;
+  bench::World world{scale};
+  const auto& vantage = world.topo.vantages()[0];
+  const unsigned ticks[] = {24, 28, 32, 36, 40, 44, 48, 52, 56, 60, 64};
+
+  std::printf("Figure 8: subnets inferred by path divergence (+ IA hack)\n");
+  bench::rule('=');
+  std::printf("%-10s %8s %8s %7s  CDF at len<=", "Set", "Subnets", "IA/64s",
+              "Pairs");
+  for (const auto t : ticks) std::printf(" %4u", t);
+  std::printf("\n");
+  bench::rule();
+
+  std::size_t total_ia = 0;
+  for (const auto* name : {"fiebig", "fdns_any", "cdn-k256", "cdn-k32", "6gen",
+                           "dnsdb", "caida", "tum"}) {
+    const auto set = world.synth(name, 64);
+    prober::Yarrp6Config cfg;
+    cfg.pps = 2000;
+    cfg.max_ttl = 16;
+    cfg.fill_mode = true;
+    const auto c = bench::run_yarrp(world.topo, vantage, set.set.addrs, cfg);
+    const auto res =
+        analysis::discover_by_path_div(c.collector, world.topo, vantage);
+    const auto prefixes = res.distinct_prefixes();
+    const auto hist = analysis::length_histogram(prefixes);
+    total_ia += res.ia_hack_count;
+
+    // CDF over inferred lengths.
+    std::vector<double> cdf(65, 0);
+    double run = 0;
+    const double n = static_cast<double>(prefixes.size());
+    for (unsigned l = 0; l <= 64; ++l) {
+      run += static_cast<double>(hist[l]);
+      cdf[l] = n == 0 ? 0 : run / n;
+    }
+    std::printf("%-10s %8zu %8zu %7zu              ", name, prefixes.size(),
+                res.ia_hack_count, res.pairs_divergent);
+    for (const auto t : ticks) std::printf(" %4.2f", cdf[t]);
+    std::printf("\n");
+  }
+  bench::rule();
+  std::printf("(IA-hack /64 pinnings across all sets: %zu)\n", total_ia);
+  std::printf(
+      "Expected shape (paper): each set's inferred-length CDF tracks its"
+      " target DPL distribution (Fig. 3a); sets\nwith dense /64 coverage"
+      " (fiebig, cdn-k32, tum) reach 64-bit inferences; caida discovers only"
+      " coarse subnets;\nIA-hack pinnings dominate the counts at 64.\n");
+  return 0;
+}

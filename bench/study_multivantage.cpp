@@ -1,0 +1,101 @@
+// study_multivantage — extension (paper §7.2: "leverage our methodology
+// across a large number of vantages ... to provide even greater scope and
+// coverage"). Two comparisons against a single-vantage campaign:
+//
+//   sharded, equal aggregate budget — the (target, ttl) space is
+//     partitioned across three vantages, so the whole campaign costs the
+//     same as the single-vantage one. Coverage stays comparable while each
+//     vantage sends only a third of the probes (per-vantage cost is what
+//     limits real deployments); exact interface counts can go either way
+//     because each cell is seen from a vantage with different path lengths.
+//
+//   union, 3x budget — every vantage probes the full space (what the paper
+//     actually runs: the same campaigns from all three vantages). This is
+//     where vantage diversity must show up as interfaces no single vantage
+//     can see (ingress-dependent router addresses).
+#include <set>
+
+#include "bench/common.hpp"
+#include "prober/multivantage.hpp"
+
+using namespace beholder6;
+
+int main() {
+  bench::World world;
+  const auto set = world.synth("cdn-k32", 64);
+  auto targets = set.set.addrs;
+  if (targets.size() > 4000) targets.resize(4000);
+
+  prober::Yarrp6Config cfg;
+  cfg.pps = 2000;
+  cfg.max_ttl = 16;
+
+  std::printf("Multi-vantage study (cdn-k32 z64, %zu targets, 2kpps)\n",
+              targets.size());
+  bench::rule('=');
+  std::printf("%-26s %10s %12s %10s %10s\n", "campaign", "probes", "ifaces",
+              "rate-ltd", "hop1resp");
+  bench::rule();
+
+  auto hop1 = [&](const topology::TraceCollector& c) {
+    std::size_t have = 0;
+    for (const auto& [t, tr] : c.traces()) have += tr.hops.contains(1);
+    return 100.0 * static_cast<double>(have) / static_cast<double>(targets.size());
+  };
+
+  std::set<Ipv6Addr> single_ifaces;
+  {
+    simnet::Network net{world.topo, simnet::NetworkParams{}};
+    topology::TraceCollector c;
+    prober::Yarrp6Config c1 = cfg;
+    c1.src = world.topo.vantages()[0].src;
+    const auto st = prober::Yarrp6Prober{c1}.run(
+        net, targets, [&](const wire::DecodedReply& r) { c.on_reply(r); });
+    single_ifaces.insert(c.interfaces().begin(), c.interfaces().end());
+    std::printf("%-26s %10s %12zu %10s %9.0f%%\n", "single (US-EDU-1)",
+                bench::human(static_cast<double>(st.probes_sent)).c_str(),
+                c.interfaces().size(),
+                bench::human(static_cast<double>(net.stats().rate_limited)).c_str(),
+                hop1(c));
+  }
+  {
+    simnet::Network net{world.topo, simnet::NetworkParams{}};
+    const auto res = prober::run_multi_vantage(net, world.topo.vantages(), targets, cfg);
+    std::printf("%-26s %10s %12zu %10s %9.0f%%\n", "sharded (3v, same budget)",
+                bench::human(static_cast<double>(res.total_probes())).c_str(),
+                res.collector.interfaces().size(),
+                bench::human(static_cast<double>(net.stats().rate_limited)).c_str(),
+                hop1(res.collector));
+  }
+  {
+    // Union campaign: each vantage probes the full (target, ttl) space.
+    simnet::Network net{world.topo, simnet::NetworkParams{}};
+    topology::TraceCollector c;
+    std::uint64_t probes = 0;
+    for (const auto& v : world.topo.vantages()) {
+      prober::Yarrp6Config cv = cfg;
+      cv.src = v.src;
+      probes += prober::Yarrp6Prober{cv}
+                    .run(net, targets,
+                         [&](const wire::DecodedReply& r) { c.on_reply(r); })
+                    .probes_sent;
+    }
+    std::size_t exclusive = 0;
+    for (const auto& iface : c.interfaces())
+      exclusive += !single_ifaces.contains(iface);
+    std::printf("%-26s %10s %12zu %10s %9.0f%%   (+%zu ifaces unseen by single)\n",
+                "union (3v, 3x budget)",
+                bench::human(static_cast<double>(probes)).c_str(),
+                c.interfaces().size(),
+                bench::human(static_cast<double>(net.stats().rate_limited)).c_str(),
+                hop1(c), exclusive);
+  }
+  bench::rule();
+  std::printf(
+      "Expected shape: sharding keeps coverage in the same ballpark at a"
+      " third of the per-vantage cost;\nthe 3-vantage union strictly"
+      " dominates the single vantage, with its margin made of"
+      " ingress-dependent\nrouter addresses (aliases) and"
+      " premise/region-specific hops only other vantages traverse.\n");
+  return 0;
+}

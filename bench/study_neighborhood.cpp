@@ -1,0 +1,62 @@
+// study_neighborhood — extension (paper §4.2): Yarrp's "neighborhood"
+// enhancement maintains per-TTL state over the local responsive
+// neighborhood and skips probes for near TTLs that have stopped yielding
+// new interface addresses. The paper describes the mode but defers its
+// evaluation to future work ("we plan to experiment with Yarrp6's
+// neighborhood enhancement"); this study runs that experiment against the
+// simulator: probes saved vs interfaces lost, across neighborhood TTL
+// thresholds.
+#include "bench/common.hpp"
+
+using namespace beholder6;
+
+int main() {
+  bench::World world;
+  const auto set = world.synth("cdn-k32", 64);
+  auto targets = set.set.addrs;
+  if (targets.size() > 3000) targets.resize(3000);
+  const auto& vantage = world.topo.vantages()[0];
+
+  std::printf("Neighborhood-mode study (cdn-k32 z64, %zu targets, 1kpps, "
+              "maxTTL 16)\n", targets.size());
+  bench::rule('=');
+  std::printf("%-22s %10s %10s %10s %12s %10s\n", "mode", "probes", "skips",
+              "ifaces", "ifaces lost", "probes/if");
+  bench::rule();
+
+  std::size_t baseline_ifaces = 0;
+  for (const unsigned nttl : {0u, 2u, 3u, 4u, 6u}) {
+    prober::Yarrp6Config cfg;
+    cfg.pps = 1000;
+    cfg.max_ttl = 16;
+    cfg.neighborhood = nttl > 0;
+    cfg.neighborhood_ttl = static_cast<std::uint8_t>(nttl);
+    cfg.neighborhood_window_us = 500'000;  // 0.5s of virtual quiet
+    const auto c = bench::run_yarrp(world.topo, vantage, targets, cfg);
+    if (nttl == 0) baseline_ifaces = c.collector.interfaces().size();
+    const auto lost = baseline_ifaces > c.collector.interfaces().size()
+                          ? baseline_ifaces - c.collector.interfaces().size()
+                          : 0;
+    char label[32];
+    if (nttl == 0)
+      std::snprintf(label, sizeof label, "off (baseline)");
+    else
+      std::snprintf(label, sizeof label, "neighborhood ttl<=%u", nttl);
+    std::printf("%-22s %10s %10s %10zu %12zu %10.1f\n", label,
+                bench::human(static_cast<double>(c.probe_stats.probes_sent)).c_str(),
+                bench::human(static_cast<double>(c.probe_stats.neighborhood_skips)).c_str(),
+                c.collector.interfaces().size(), lost,
+                c.collector.interfaces().empty()
+                    ? 0.0
+                    : static_cast<double>(c.probe_stats.probes_sent) /
+                          static_cast<double>(c.collector.interfaces().size()));
+  }
+  bench::rule();
+  std::printf(
+      "Expected shape: the near-vantage TTLs stop yielding new interfaces"
+      " almost immediately (the premise\nchain is tiny), so neighborhood"
+      " mode sheds a TTL<=k / maxTTL fraction of probes at near-zero"
+      " interface\nloss; the savings grow with the threshold while losses"
+      " stay bounded to the local neighborhood.\n");
+  return 0;
+}

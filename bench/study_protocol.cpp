@@ -1,0 +1,70 @@
+// study_protocol — reproduces the §4.2 protocol trial: probing the caida
+// target set with ICMPv6, UDP and TCP at 20pps (rate limiting negligible)
+// and comparing discovered interfaces and non-Time-Exceeded responses.
+#include <map>
+
+#include "bench/common.hpp"
+#include "topology/graph.hpp"
+
+using namespace beholder6;
+
+int main() {
+  bench::World world;
+  const auto set = world.synth("caida", 64);
+
+  std::printf("Protocol trial (caida z64 targets, 20pps, two vantages)\n");
+  bench::rule('=');
+  std::printf("%-10s %-8s %10s %10s %10s %12s %12s\n", "Vantage", "Proto",
+              "Probes", "IntAddrs", "IPLinks", "NonTE", "EchoReplies");
+  bench::rule();
+
+  struct Result {
+    std::size_t addrs;
+    std::size_t links;
+    std::uint64_t non_te;
+  };
+  std::map<std::string, Result> by_proto;
+
+  for (const auto* vname : {"US-EDU-1", "EU-NET"}) {
+    const simnet::VantageInfo* vantage = nullptr;
+    for (const auto& v : world.topo.vantages())
+      if (v.name == vname) vantage = &v;
+    for (const auto& [proto, pname] :
+         {std::pair{wire::Proto::kIcmp6, "ICMPv6"}, {wire::Proto::kUdp, "UDP"},
+          {wire::Proto::kTcp, "TCP"}}) {
+      prober::Yarrp6Config cfg;
+      cfg.pps = 20;
+      cfg.max_ttl = 16;
+      cfg.proto = proto;
+      // Same permutation seed and targets across protocols, as in the paper.
+      cfg.permutation_key = 0x2018;
+      const auto c = bench::run_yarrp(world.topo, *vantage, set.set.addrs, cfg);
+      const auto graph = topology::LinkGraph::from_traces(c.collector);
+      std::printf("%-10s %-8s %10s %10zu %10zu %12s %12s\n", vname, pname,
+                  bench::human(static_cast<double>(c.probe_stats.probes_sent)).c_str(),
+                  c.collector.interfaces().size(), graph.link_count(),
+                  bench::human(static_cast<double>(c.collector.non_te_responses())).c_str(),
+                  bench::human(static_cast<double>(c.net_stats.echo_replies)).c_str());
+      auto& agg = by_proto[pname];
+      agg.addrs += c.collector.interfaces().size();
+      agg.links += graph.link_count();
+      agg.non_te += c.collector.non_te_responses();
+    }
+  }
+  bench::rule();
+  const auto& icmp = by_proto["ICMPv6"];
+  for (const auto* p : {"UDP", "TCP"}) {
+    const auto& other = by_proto[p];
+    std::printf("ICMPv6 vs %s: %+.1f%% interfaces, %+.1f%% non-TE responses\n", p,
+                100.0 * (static_cast<double>(icmp.addrs) /
+                             static_cast<double>(other.addrs) - 1.0),
+                100.0 * (static_cast<double>(icmp.non_te) /
+                             std::max<double>(1.0, static_cast<double>(other.non_te)) - 1.0));
+  }
+  bench::rule();
+  std::printf("Expected shape (paper): ICMPv6 discovers ~2%% more interfaces"
+              " than UDP/TCP and elicits 14-24%% more\nnon-Time-Exceeded"
+              " responses (probes penetrate deeper; some borders filter"
+              " UDP/TCP).\n");
+  return 0;
+}

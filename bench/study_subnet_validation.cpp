@@ -1,0 +1,66 @@
+// study_subnet_validation — reproduces §6's validation protocol: candidate
+// subnets from a combined campaign are scored against ground truth, first
+// with all traces, then after stratified sampling (one target per true
+// subnet), which caps discovery at truth granularity.
+#include "bench/common.hpp"
+
+#include "analysis/pathdiv.hpp"
+#include "analysis/validate.hpp"
+
+using namespace beholder6;
+
+namespace {
+
+void print_report(const char* label, const analysis::ValidationReport& rep) {
+  std::printf("%-22s %10zu %8zu (%4.1f%%) %12zu %10zu %10zu %8zu\n", label,
+              rep.candidates, rep.exact_matches, 100 * rep.exact_rate(),
+              rep.more_specific, rep.one_bit_short, rep.two_bits_short,
+              rep.other);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.6;
+  bench::World world{scale};
+  const auto& vantage = world.topo.vantages()[0];
+
+  // A depth-oriented combined set: the lists that reach /64 structure.
+  std::vector<const target::TargetSet*> parts;
+  std::vector<bench::NamedSet> keep;
+  for (const auto* n : {"fiebig", "cdn-k32", "tum", "dnsdb"})
+    keep.push_back(world.synth(n, 64));
+  for (const auto& k : keep) parts.push_back(&k.set);
+  const auto combined = target::combine(parts, "combined");
+
+  prober::Yarrp6Config cfg;
+  cfg.pps = 2000;
+  cfg.max_ttl = 16;
+  cfg.fill_mode = true;
+  const auto c = bench::run_yarrp(world.topo, vantage, combined.addrs, cfg);
+  const auto res = analysis::discover_by_path_div(c.collector, world.topo, vantage);
+
+  std::printf("Subnet validation against simnet ground truth\n");
+  bench::rule('=');
+  std::printf("%-22s %10s %17s %12s %10s %10s %8s\n", "protocol", "candidates",
+              "exact", "more-specific", "1-bit", "2-bit", "other");
+  bench::rule();
+  print_report("all traces", analysis::validate_candidates(res.candidates, world.topo));
+
+  // Stratified sampling: keep one target per true subnet, rerun, revalidate.
+  const auto sample = analysis::stratified_sample(combined.addrs, world.topo);
+  const auto c2 = bench::run_yarrp(world.topo, vantage, sample, cfg);
+  const auto res2 = analysis::discover_by_path_div(c2.collector, world.topo, vantage);
+  print_report("stratified sample", analysis::validate_candidates(res2.candidates, world.topo));
+  bench::rule();
+  std::printf("(stratified sample kept %zu of %zu targets; divergent pairs"
+              " %zu -> %zu)\n",
+              sample.size(), combined.size(), res.pairs_divergent,
+              res2.pairs_divergent);
+  std::printf(
+      "Expected shape (paper): with all traces most candidates are more-"
+      "specific than (inside) truth subnets and\nexact matches are rare; after"
+      " stratified sampling the exact-match rate rises sharply (the paper:"
+      " 43%%),\nwith most misses short by one or two bits.\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// table1_seed_properties — reproduces Table 1: per seed list, its size and
+// the addr6-style classification of its interface identifiers.
+#include "bench/common.hpp"
+#include "seeds/classify.hpp"
+
+using namespace beholder6;
+
+int main() {
+  bench::World world;
+  std::printf("Table 1: Seed List Properties (synthetic reproduction)\n");
+  bench::rule('=');
+  std::printf("%-10s %10s %22s %22s %22s\n", "Name", "#Entries", "Random",
+              "LowByte", "EUI-64");
+  bench::rule();
+  for (const auto& list : world.seed_lists) {
+    std::vector<Ipv6Addr> addrs;
+    for (const auto& e : list.entries)
+      if (e.len() == 128) addrs.push_back(e.base());
+    const auto mix = seeds::classify_all(addrs);
+    if (addrs.empty()) {
+      // The CDN lists are anonymized *prefixes*: individual client
+      // addresses are withheld, exactly as in the paper ("N/A ... All
+      // client addresses are SLAAC privacy, i.e. random").
+      std::printf("%-10s %10s %21s%% %21s%% %21s%%\n", list.name.c_str(),
+                  bench::human(static_cast<double>(list.size())).c_str(),
+                  "(100 random)", "0.0", "0.0");
+      continue;
+    }
+    std::printf("%-10s %10s %15s %4.1f%% %16s %4.1f%% %16s %4.1f%%\n",
+                list.name.c_str(),
+                bench::human(static_cast<double>(list.size())).c_str(),
+                bench::human(static_cast<double>(mix.random)).c_str(),
+                100 * mix.frac_random(),
+                bench::human(static_cast<double>(mix.lowbyte)).c_str(),
+                100 * mix.frac_lowbyte(),
+                bench::human(static_cast<double>(mix.eui64)).c_str(),
+                100 * mix.frac_eui64());
+  }
+  bench::rule();
+  std::printf("Expected shape (paper): caida ~51%%/49%%/0%% random/lowbyte/eui;"
+              " DNS lists few %% EUI; tum EUI-heavy (~12%%);\n"
+              "cdn entries are anonymized prefixes (client addresses withheld);"
+              " random is ~100%% random.\n");
+  return 0;
+}

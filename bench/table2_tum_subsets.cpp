@@ -1,0 +1,37 @@
+// table2_tum_subsets — reproduces Table 2: the TUM collection's subset
+// composition and the effect of joining them (total vs total-unique).
+#include <set>
+
+#include "bench/common.hpp"
+
+using namespace beholder6;
+
+int main() {
+  bench::World world;
+  const auto& topo = world.topo;
+  seeds::SeedScale sc;
+
+  // Recreate the ingredients the tum collection joins.
+  const auto fdns = seeds::make_fdns_any(topo, sc, 20180514);
+  const auto caida = seeds::make_caida(topo, sc, 20180514);
+  const auto tum = seeds::make_tum(topo, sc, 20180514);
+
+  std::printf("Table 2: TUM Seed Subsets (synthetic reproduction)\n");
+  bench::rule('=');
+  std::printf("%-34s %12s\n", "Subset", "#Entries");
+  bench::rule();
+  std::printf("%-34s %12zu\n", "fdns_any (rapid7-dnsany analogue)", fdns.size());
+  std::printf("%-34s %12zu\n", "caida traceroute targets (sampled)", caida.size());
+  const auto extras = tum.size() > fdns.size() ? tum.size() - fdns.size() : 0;
+  std::printf("%-34s %12zu\n", "ct/alexa/openipmap-style extras", extras);
+
+  std::size_t total = fdns.size() + caida.size() + extras;
+  std::set<Prefix> uniq(tum.entries.begin(), tum.entries.end());
+  bench::rule();
+  std::printf("%-34s %12zu\n", "Total (with duplication)", total);
+  std::printf("%-34s %12zu\n", "Total Unique (the tum list)", uniq.size());
+  bench::rule();
+  std::printf("Expected shape (paper): joined subsets overlap heavily —"
+              " 80.1M raw entries deduplicate to 5.6M unique.\n");
+  return 0;
+}

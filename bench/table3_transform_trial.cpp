@@ -1,0 +1,65 @@
+// table3_transform_trial — reproduces Table 3: probing the fdns_any seed
+// list under zn transformations n ∈ {40, 48, 56, 64}: probes required,
+// non-Time-Exceeded responses, unique interface addresses discovered, and
+// the interfaces found *exclusively* at each transformation level.
+#include <map>
+#include <set>
+
+#include "bench/common.hpp"
+
+using namespace beholder6;
+
+int main() {
+  bench::World world;
+  const auto& vantage = world.topo.vantages()[0];
+
+  struct Row {
+    unsigned n;
+    std::uint64_t probes;
+    std::uint64_t other_icmp;
+    std::set<Ipv6Addr> addrs;
+  };
+  std::vector<Row> rows;
+
+  for (unsigned n : {40u, 48u, 56u, 64u}) {
+    const auto set = world.synth("fdns_any", n);
+    prober::Yarrp6Config cfg;
+    cfg.pps = 1000;
+    cfg.max_ttl = 16;
+    cfg.fill_mode = true;
+    auto campaign = bench::run_yarrp(world.topo, vantage, set.set.addrs, cfg);
+    Row row;
+    row.n = n;
+    row.probes = campaign.probe_stats.probes_sent;
+    row.other_icmp = campaign.collector.non_te_responses();
+    for (const auto& a : campaign.collector.interfaces()) row.addrs.insert(a);
+    rows.push_back(std::move(row));
+  }
+
+  // Exclusive interfaces per level.
+  std::map<Ipv6Addr, unsigned> seen_in;
+  for (const auto& r : rows)
+    for (const auto& a : r.addrs) ++seen_in[a];
+
+  std::printf("Table 3: ICMPv6 Trial Results by Transformation (fdns_any seeds)\n");
+  bench::rule('=');
+  std::printf("%-6s %12s %14s %10s %12s %18s\n", "zn", "Probes", "OtherICMPv6",
+              "Addrs", "ExclAddrs", "other/probe");
+  bench::rule();
+  for (const auto& r : rows) {
+    std::size_t excl = 0;
+    for (const auto& a : r.addrs) excl += seen_in[a] == 1;
+    std::printf("/%-5u %12s %14s %10s %12s %18.4f\n", r.n,
+                bench::human(static_cast<double>(r.probes)).c_str(),
+                bench::human(static_cast<double>(r.other_icmp)).c_str(),
+                bench::human(static_cast<double>(r.addrs.size())).c_str(),
+                bench::human(static_cast<double>(excl)).c_str(),
+                static_cast<double>(r.other_icmp) / static_cast<double>(r.probes));
+  }
+  bench::rule();
+  std::printf("Expected shape (paper): z64 needs ~8x the probes of z40 but finds"
+              " ~3x the interfaces, has by far the most\nexclusive interfaces,"
+              " and the highest non-Time-Exceeded rate per probe (probing"
+              " deeper into networks).\n");
+  return 0;
+}

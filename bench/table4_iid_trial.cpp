@@ -1,0 +1,106 @@
+// table4_iid_trial — reproduces Table 4: the ICMPv6 response type/code mix
+// when synthesizing targets with (a) lowbyte1, (b) fixediid over cdn-k256
+// z64 prefixes, and (c) known seed addresses from the fiebig list.
+#include "bench/common.hpp"
+
+using namespace beholder6;
+
+namespace {
+
+struct Dist {
+  std::string name;
+  std::uint64_t te = 0;
+  std::uint64_t du[7] = {};
+  std::uint64_t echo = 0;
+
+  [[nodiscard]] std::uint64_t total_errors() const {
+    std::uint64_t s = te;
+    for (auto v : du) s += v;
+    return s;
+  }
+};
+
+Dist run(const bench::World& world, const std::string& name,
+         const std::vector<Ipv6Addr>& targets) {
+  prober::Yarrp6Config cfg;
+  cfg.pps = 1000;
+  cfg.max_ttl = 16;
+  cfg.fill_mode = true;
+  const auto c =
+      bench::run_yarrp(world.topo, world.topo.vantages()[0], targets, cfg);
+  Dist d;
+  d.name = name;
+  d.te = c.net_stats.time_exceeded;
+  for (int i = 0; i < 7; ++i) d.du[i] = c.net_stats.dest_unreach[i];
+  d.echo = c.net_stats.echo_replies;
+  return d;
+}
+
+void print_row(const char* label, const Dist& a, const Dist& b, const Dist& c,
+               auto field) {
+  auto pct = [&](const Dist& d) {
+    return d.total_errors() == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(field(d)) /
+                     static_cast<double>(d.total_errors());
+  };
+  std::printf("%-34s %10.1f%% %10.1f%% %10.1f%%\n", label, pct(a), pct(b), pct(c));
+}
+
+}  // namespace
+
+int main() {
+  bench::World world;
+
+  // (a)/(b): cdn-k256, z64, lowbyte1 vs fixediid.
+  const target::SeedList* cdn = nullptr;
+  const target::SeedList* fiebig = nullptr;
+  for (const auto& l : world.seed_lists) {
+    if (l.name == "cdn-k256") cdn = &l;
+    if (l.name == "fiebig") fiebig = &l;
+  }
+  const auto z64 = target::transform_zn(*cdn, 64);
+  const auto lowbyte = target::synthesize_lowbyte1(z64);
+  const auto fixed = target::synthesize_fixediid(z64);
+
+  // (c): known addresses from the fiebig seed list. The trial targets the
+  // routed portion: rDNS also retains stale entries for space that is no
+  // longer announced, and probing those would only measure no-route noise
+  // rather than the end-host reachability the known-IID question is about.
+  std::vector<Ipv6Addr> fiebig_addrs;
+  target::SeedList fiebig_routed;
+  fiebig_routed.name = fiebig->name;
+  for (const auto& e : fiebig->entries)
+    if (e.len() == 128 && world.topo.bgp().covers(e.base())) {
+      fiebig_addrs.push_back(e.base());
+      fiebig_routed.entries.push_back(e);
+    }
+  const auto fiebig_z64 = target::transform_zn(fiebig_routed, 64);
+  const auto known = target::synthesize_known(fiebig_z64, fiebig_addrs);
+
+  const auto a = run(world, "lowbyte1", lowbyte.addrs);
+  const auto b = run(world, "fixediid", fixed.addrs);
+  const auto c = run(world, "known", known.addrs);
+
+  std::printf("Table 4: ICMPv6 Trial Results by IID\n");
+  bench::rule('=');
+  std::printf("%-34s %11s %11s %11s\n", "type/code",
+              "CDN lowbyte1", "CDN fixediid", "Fiebig known");
+  bench::rule();
+  print_row("Time Exceeded", a, b, c, [](const Dist& d) { return d.te; });
+  print_row("  no route to destination", a, b, c, [](const Dist& d) { return d.du[0]; });
+  print_row("  administratively prohibited", a, b, c, [](const Dist& d) { return d.du[1]; });
+  print_row("  address unreachable", a, b, c, [](const Dist& d) { return d.du[3]; });
+  print_row("  port unreachable", a, b, c, [](const Dist& d) { return d.du[4]; });
+  print_row("  reject route to destination", a, b, c, [](const Dist& d) { return d.du[6]; });
+  bench::rule();
+  std::printf("(echo replies, excluded from the error distribution: %s / %s / %s)\n",
+              bench::human(static_cast<double>(a.echo)).c_str(),
+              bench::human(static_cast<double>(b.echo)).c_str(),
+              bench::human(static_cast<double>(c.echo)).c_str());
+  std::printf("Expected shape (paper): >=95%% Time Exceeded everywhere;"
+              " lowbyte1 ~= fixediid; known addresses show a\n"
+              "visibly elevated port-unreachable share (they reach live"
+              " hosts).\n");
+  return 0;
+}

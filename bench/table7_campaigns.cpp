@@ -1,0 +1,192 @@
+// table7_campaigns — reproduces Table 7: full yarrp6 campaigns for every
+// target set (each seed list at z48 and z64) from three vantages, reverse
+// sorted by interface-address yield. Columns: traces, targets, interface
+// addresses (+exclusive), BGP prefixes and ASNs of interfaces (+exclusive),
+// reached-target rate, path lengths, EUI-64 share and path offsets.
+//
+// Scaled-down in absolute numbers (synthetic Internet), but the orderings
+// and ratios are the reproduction target.
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "bench/common.hpp"
+#include "netbase/eui64.hpp"
+
+using namespace beholder6;
+
+namespace {
+
+/// Pooled per-trace metrics, accumulated across campaigns. The top rows of
+/// the paper's table (ALL + one per vantage) aggregate every campaign run
+/// from that scope, so we pool raw samples rather than collector objects.
+struct CampaignRow {
+  std::string name;
+  std::uint64_t traces = 0;
+  std::set<Ipv6Addr> targets;
+  std::set<Ipv6Addr> interfaces;
+  std::set<Prefix> bgp;
+  std::set<simnet::Asn> asns;
+  std::uint64_t traces_reached = 0;   // responses from inside the target ASN
+  std::uint64_t traces_counted = 0;
+  std::vector<int> path_lens;         // one per trace
+  std::set<Ipv6Addr> eui_ifaces;
+  std::vector<int> eui_offsets;       // one per EUI-64 hop observation
+
+  [[nodiscard]] double reached() const {
+    return traces_counted == 0 ? 0.0
+                               : static_cast<double>(traces_reached) /
+                                     static_cast<double>(traces_counted);
+  }
+  [[nodiscard]] int plen_pct(double q) const {
+    if (path_lens.empty()) return 0;
+    auto v = path_lens;
+    std::sort(v.begin(), v.end());
+    return v[std::min(v.size() - 1,
+                      static_cast<std::size_t>(q * static_cast<double>(v.size())))];
+  }
+  [[nodiscard]] int offset_pct(double q) const {
+    if (eui_offsets.empty()) return 0;
+    auto v = eui_offsets;
+    std::sort(v.begin(), v.end());
+    return v[std::min(v.size() - 1,
+                      static_cast<std::size_t>(q * static_cast<double>(v.size())))];
+  }
+};
+
+/// Fold one campaign's collector into a row.
+void accumulate(CampaignRow& row, const topology::TraceCollector& col,
+                const simnet::Topology& topo) {
+  for (const auto& [target, tr] : col.traces()) {
+    ++row.traces_counted;
+    const auto want = topo.origin(target);
+    const int plen = tr.path_len();
+    row.path_lens.push_back(plen);
+    bool reached = false;
+    for (const auto& [ttl, hop] : tr.hops) {
+      if (want && topo.origin(hop.iface) == want) reached = true;
+      if (hop.type == wire::Icmp6Type::kTimeExceeded && is_eui64(hop.iface)) {
+        row.eui_ifaces.insert(hop.iface);
+        row.eui_offsets.push_back(static_cast<int>(ttl) - plen);
+      }
+    }
+    row.traces_reached += reached;
+  }
+  for (const auto& iface : col.interfaces()) {
+    row.interfaces.insert(iface);
+    if (const auto m = topo.bgp().lpm(iface)) {
+      row.bgp.insert(m->first);
+      row.asns.insert(*m->second);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.6;
+  bench::World world{scale};
+  const auto sets = world.all_sets(/*include_random=*/false);
+
+  std::vector<CampaignRow> rows;
+  CampaignRow all;
+  all.name = "ALL";
+  std::map<std::string, CampaignRow> by_vantage;
+
+  for (const auto& ns : sets) {
+    CampaignRow row;
+    row.name = ns.seed_name + " z" + std::to_string(ns.zn);
+    row.targets.insert(ns.set.addrs.begin(), ns.set.addrs.end());
+    for (const auto& vantage : world.topo.vantages()) {
+      prober::Yarrp6Config cfg;
+      cfg.pps = 1000;
+      cfg.max_ttl = 16;
+      cfg.fill_mode = true;
+      const auto c = bench::run_yarrp(world.topo, vantage, ns.set.addrs, cfg);
+
+      auto& vrow = by_vantage[vantage.name];
+      vrow.name = vantage.name;
+      vrow.traces += c.probe_stats.traces;
+      vrow.targets.insert(ns.set.addrs.begin(), ns.set.addrs.end());
+      accumulate(vrow, c.collector, world.topo);
+      all.traces += c.probe_stats.traces;
+      all.targets.insert(ns.set.addrs.begin(), ns.set.addrs.end());
+      accumulate(all, c.collector, world.topo);
+      row.traces += c.probe_stats.traces;
+      // Vantage-0 campaigns supply the per-set behavioural metrics, as a
+      // single consistent perspective (the paper reports per-set rows from
+      // merged campaigns; orderings are unaffected).
+      if (&vantage == &world.topo.vantages()[0]) {
+        accumulate(row, c.collector, world.topo);
+      } else {
+        for (const auto& iface : c.collector.interfaces()) {
+          row.interfaces.insert(iface);
+          if (const auto m = world.topo.bgp().lpm(iface)) {
+            row.bgp.insert(m->first);
+            row.asns.insert(*m->second);
+          }
+        }
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+
+  // Exclusive interfaces/ASNs: found by exactly one campaign (set).
+  std::map<Ipv6Addr, unsigned> iface_count;
+  std::map<simnet::Asn, unsigned> asn_count;
+  for (const auto& r : rows) {
+    for (const auto& i : r.interfaces) ++iface_count[i];
+    for (const auto a : r.asns) ++asn_count[a];
+  }
+
+  std::sort(rows.begin(), rows.end(), [](const CampaignRow& a, const CampaignRow& b) {
+    return a.interfaces.size() > b.interfaces.size();
+  });
+
+  auto h = [](double v) { return bench::human(v); };
+  std::printf("Table 7: Aggregate yarrp6 campaigns from three vantages, reverse"
+              " sorted by interface yield\n");
+  bench::rule('=');
+  std::printf("%-14s %8s %8s %8s %7s %6s %6s %6s %7s %11s %13s\n", "Campaign",
+              "Traces", "Targets", "IntAddr", "Excl", "BGP", "ASNs", "Reach%",
+              "PathLen", "EUI-64", "EUIOffset");
+  std::printf("%-14s %8s %8s %8s %7s %6s %6s %6s %7s %11s %13s\n", "", "", "",
+              "", "", "", "", "", "p95(med)", "count(%)", "p5(med)");
+  bench::rule();
+
+  auto print_row = [&](const CampaignRow& r, bool with_excl) {
+    std::size_t excl = 0, excl_asn = 0;
+    if (with_excl) {
+      for (const auto& i : r.interfaces) excl += iface_count[i] == 1;
+      for (const auto a : r.asns) excl_asn += asn_count[a] == 1;
+    }
+    (void)excl_asn;
+    const double eui_frac =
+        r.interfaces.empty() ? 0.0
+                             : static_cast<double>(r.eui_ifaces.size()) /
+                                   static_cast<double>(r.interfaces.size());
+    std::printf("%-14s %8s %8s %8s %7s %6s %6s %5.0f%% %4d(%2d) %7s %3.0f%% %6d(%d)\n",
+                r.name.c_str(), h(static_cast<double>(r.traces)).c_str(),
+                h(static_cast<double>(r.targets.size())).c_str(),
+                h(static_cast<double>(r.interfaces.size())).c_str(),
+                with_excl ? h(static_cast<double>(excl)).c_str() : "-",
+                h(static_cast<double>(r.bgp.size())).c_str(),
+                h(static_cast<double>(r.asns.size())).c_str(), 100 * r.reached(),
+                r.plen_pct(0.95), r.plen_pct(0.5),
+                h(static_cast<double>(r.eui_ifaces.size())).c_str(),
+                100 * eui_frac, r.offset_pct(0.05), r.offset_pct(0.5));
+  };
+
+  print_row(all, false);
+  for (const auto& [name, vrow] : by_vantage) print_row(vrow, false);
+  bench::rule();
+  for (const auto& r : rows) print_row(r, true);
+  bench::rule();
+  std::printf(
+      "Expected shape (paper): cdn-k32 z64 and tum z64 lead in interfaces and"
+      " exclusives, both EUI-64-heavy\n(~39%%/53%%) with EUI hops at/near the"
+      " last hop (offsets ~0); caida/fiebig trail; z64 >= z48 per list;\n"
+      "the long-premise vantage (US-EDU-2) yields fewer interfaces than the"
+      " other two.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// address_structure — analyzing the structure of IPv6 address sets.
+//
+// The paper leans on three structural lenses for its seed and result sets:
+// addr6-style IID classification (Tables 1 and 7), Discriminating Prefix
+// Length distributions (Figure 3), and the address-clustering observations
+// behind 6Gen and kIP. This example runs all three — plus Multi-Resolution
+// Aggregate analysis and an Entropy/IP-style structure model — over each
+// synthetic seed source, producing the kind of per-list structural report
+// an operator would build before planning a probing campaign.
+#include <algorithm>
+#include <cstdio>
+
+#include "analysis/mra.hpp"
+#include "seeds/classify.hpp"
+#include "seeds/entropy.hpp"
+#include "seeds/sources.hpp"
+#include "simnet/topology.hpp"
+#include "target/synthesis.hpp"
+
+using namespace beholder6;
+
+int main() {
+  simnet::Topology topo{simnet::TopologyParams{.seed = 20180514}};
+  const auto lists = seeds::make_all(topo, seeds::SeedScale{}, 20180514);
+
+  std::printf("%-10s %8s | %7s %7s %7s | %6s %6s | %9s %9s | %s\n", "list",
+              "addrs", "lowbyte", "eui64", "random", "dpl50", "dpl90",
+              "/48 aggs", "/64 aggs", "entropy segments");
+  for (int i = 0; i < 118; ++i) std::putchar('-');
+  std::putchar('\n');
+
+  for (const auto& list : lists) {
+    std::vector<Ipv6Addr> addrs;
+    for (const auto& e : list.entries)
+      if (e.len() == 128) addrs.push_back(e.base());
+    if (addrs.empty()) {
+      std::printf("%-10s %8s | (prefix-only list: kIP anonymized)\n",
+                  list.name.c_str(), "-");
+      continue;
+    }
+
+    const auto mix = seeds::classify_all(addrs);
+
+    std::sort(addrs.begin(), addrs.end());
+    addrs.erase(std::unique(addrs.begin(), addrs.end()), addrs.end());
+    const auto cdf = target::dpl_cdf(target::dpl_of(addrs));
+    unsigned dpl50 = 0, dpl90 = 0;
+    for (unsigned p = 0; p <= 128; ++p) {
+      if (!dpl50 && cdf[p] >= 0.5) dpl50 = p;
+      if (!dpl90 && cdf[p] >= 0.9) dpl90 = p;
+    }
+
+    const analysis::MraAnalysis mra{addrs};
+
+    const auto model = seeds::EntropyModel::fit(addrs);
+    std::string segs;
+    for (const auto& s : model.segments()) {
+      const char kind = s.kind == seeds::Segment::Kind::kConstant ? 'c'
+                        : s.kind == seeds::Segment::Kind::kValueSet ? 'd'
+                                                                    : 'r';
+      segs += std::to_string(s.first) + "-" + std::to_string(s.last) + kind + " ";
+    }
+
+    std::printf("%-10s %8zu | %6.1f%% %6.1f%% %6.1f%% | %6u %6u | %9zu %9zu | %s\n",
+                list.name.c_str(), addrs.size(), 100 * mix.frac_lowbyte(),
+                100 * mix.frac_eui64(), 100 * mix.frac_random(), dpl50, dpl90,
+                mra.aggregate_count(48), mra.aggregate_count(64), segs.c_str());
+
+    // For the densest /48, show what a locality-exploiting generator sees.
+    const auto top = mra.densest(48, 1);
+    if (!top.empty() && top[0].count >= 8) {
+      std::printf("%-10s          | densest /48: %s holds %zu addrs "
+                  "(%.0f%% of list)\n",
+                  "", top[0].prefix.to_string().c_str(), top[0].count,
+                  100.0 * static_cast<double>(top[0].count) /
+                      static_cast<double>(addrs.size()));
+    }
+  }
+
+  std::printf("\nReading the report: high lowbyte%% + dpl50 of 64 (fiebig) "
+              "means dense sequential rDNS runs; high\nrandom%% + few /48 "
+              "aggregates (cdn) means SLAAC privacy clients behind few "
+              "routed prefixes; caida's\nlow dpl50 is breadth without "
+              "depth. The entropy segments show which nybbles a generator "
+              "should hold\nconstant (c), draw from a dictionary (d), or "
+              "randomize (r).\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// campaign — the paper's full methodology end to end, in miniature.
+//
+// Synthesizes targets from several seed sources (Figure 1's pipeline),
+// probes them from all three vantages with yarrp6, and prints a per-set
+// discovery summary — the workflow behind Table 7.
+//
+//   $ ./examples/campaign [scale]
+#include <cstdio>
+#include <set>
+
+#include "prober/yarrp6.hpp"
+#include "seeds/classify.hpp"
+#include "seeds/sources.hpp"
+#include "simnet/network.hpp"
+#include "target/synthesis.hpp"
+#include "target/transform.hpp"
+#include "topology/collector.hpp"
+
+using namespace beholder6;
+
+int main(int argc, char** argv) {
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.4;
+  simnet::Topology topo{simnet::TopologyParams{.seed = 20180514}};
+  seeds::SeedScale sc;
+  sc.scale = scale;
+
+  std::printf("%-10s %-9s %9s %9s %9s %7s %7s\n", "set", "vantage", "targets",
+              "probes", "ifaces", "eui64%", "reach%");
+  for (int i = 0; i < 66; ++i) std::putchar('-');
+  std::putchar('\n');
+
+  for (const auto* name : {"caida", "cdn-k32", "tum"}) {
+    // Step 1-3: seed -> transform (z64) -> synthesize (fixed IID).
+    target::SeedList seed_list;
+    if (std::string(name) == "caida") seed_list = seeds::make_caida(topo, sc, 7);
+    else if (std::string(name) == "cdn-k32") seed_list = seeds::make_cdn(topo, sc, 32, 7);
+    else seed_list = seeds::make_tum(topo, sc, 7);
+    const auto targets =
+        target::synthesize_fixediid(target::transform_zn(seed_list, 64));
+
+    for (const auto& vantage : topo.vantages()) {
+      simnet::Network net{topo};
+      prober::Yarrp6Config cfg;
+      cfg.src = vantage.src;
+      cfg.pps = 1000;
+      cfg.max_ttl = 16;
+      cfg.fill_mode = true;
+      topology::TraceCollector c;
+      const auto stats = prober::Yarrp6Prober{cfg}.run(
+          net, targets.addrs, [&](const wire::DecodedReply& r) { c.on_reply(r); });
+      const auto eui = c.eui64_report();
+      std::printf("%-10s %-9s %9zu %9llu %9zu %6.1f%% %6.1f%%\n", name,
+                  vantage.name.c_str(), targets.size(),
+                  static_cast<unsigned long long>(stats.probes_sent),
+                  c.interfaces().size(), 100 * eui.frac_of_interfaces,
+                  100 * c.reached_fraction());
+    }
+  }
+  std::printf("\nNote how the client-derived sets (cdn-k32, tum) discover far"
+              " more interfaces than the BGP-derived\ncaida set, and how their"
+              " EUI-64 share exposes CPE routers — the paper's central"
+              " finding.\n");
+  return 0;
+}

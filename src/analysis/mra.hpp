@@ -1,0 +1,98 @@
+// analysis/mra.hpp — Multi-Resolution Aggregate analysis of address sets.
+//
+// Plonka and Berger (IMC 2015, cited in §2 of the paper) classify active
+// IPv6 addresses spatially by aggregating them at multiple prefix lengths
+// and examining how the population distributes across aggregates at each
+// resolution. This module provides that analysis for seed lists, target
+// sets and discovered-interface sets:
+//
+//   * per-resolution aggregate counts and population histograms,
+//   * densest aggregates at a resolution (the "clusters" that both 6Gen
+//     and the paper's DPL discussion revolve around),
+//   * a spatial classification of each address (isolated / clustered /
+//     dense-cluster member) echoing the temporal-spatial classification
+//     of the original work.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "netbase/ipv6.hpp"
+#include "netbase/prefix.hpp"
+
+namespace beholder6::analysis {
+
+/// One aggregate at a fixed resolution: a prefix and the number of input
+/// addresses it covers.
+struct Aggregate {
+  Prefix prefix;
+  std::size_t count = 0;
+
+  friend bool operator==(const Aggregate&, const Aggregate&) = default;
+};
+
+/// Spatial class of an address relative to its covering aggregate at the
+/// classification resolution (default /64, the Internet's subnet unit).
+enum class SpatialClass : std::uint8_t {
+  kIsolated,  // alone in its aggregate
+  kSparse,    // 2..15 addresses in the aggregate
+  kDense,     // 16+ addresses in the aggregate
+};
+
+[[nodiscard]] constexpr const char* to_string(SpatialClass c) {
+  switch (c) {
+    case SpatialClass::kIsolated: return "isolated";
+    case SpatialClass::kSparse: return "sparse";
+    case SpatialClass::kDense: return "dense";
+  }
+  return "?";
+}
+
+/// Multi-resolution aggregation over a fixed address set.
+class MraAnalysis {
+ public:
+  /// Build from any address collection. Duplicates count once.
+  explicit MraAnalysis(std::vector<Ipv6Addr> addrs);
+
+  /// Number of distinct input addresses.
+  [[nodiscard]] std::size_t size() const { return addrs_.size(); }
+
+  /// All aggregates at a resolution (prefix length 0..128), in address
+  /// order. O(n) over the sorted input.
+  [[nodiscard]] std::vector<Aggregate> aggregates(unsigned plen) const;
+
+  /// Number of distinct aggregates at a resolution (the "aggregate count
+  /// curve": how it grows with plen characterizes clustering).
+  [[nodiscard]] std::size_t aggregate_count(unsigned plen) const;
+
+  /// The `n` most populated aggregates at a resolution, ties broken by
+  /// address order.
+  [[nodiscard]] std::vector<Aggregate> densest(unsigned plen, std::size_t n) const;
+
+  /// Histogram of aggregate populations at a resolution: map from
+  /// population to number of aggregates holding exactly that population.
+  [[nodiscard]] std::map<std::size_t, std::size_t> population_histogram(
+      unsigned plen) const;
+
+  /// Spatial classification of every input address at a resolution.
+  /// Returned in the same order as `addresses()`.
+  [[nodiscard]] std::vector<SpatialClass> classify(unsigned plen = 64) const;
+
+  /// Counts per spatial class at a resolution.
+  struct ClassCounts {
+    std::size_t isolated = 0;
+    std::size_t sparse = 0;
+    std::size_t dense = 0;
+    [[nodiscard]] std::size_t total() const { return isolated + sparse + dense; }
+  };
+  [[nodiscard]] ClassCounts class_counts(unsigned plen = 64) const;
+
+  /// The deduplicated, sorted input.
+  [[nodiscard]] const std::vector<Ipv6Addr>& addresses() const { return addrs_; }
+
+ private:
+  std::vector<Ipv6Addr> addrs_;  // sorted, unique
+};
+
+}  // namespace beholder6::analysis

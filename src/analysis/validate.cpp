@@ -1,0 +1,47 @@
+#include "analysis/validate.hpp"
+
+#include <unordered_set>
+
+namespace beholder6::analysis {
+
+ValidationReport validate_candidates(const std::vector<CandidateSubnet>& candidates,
+                                     const simnet::Topology& topo) {
+  ValidationReport rep;
+  for (const auto& c : candidates) {
+    ++rep.candidates;
+    const auto truth = topo.true_subnet(c.target);
+    if (!truth) {
+      ++rep.other;
+      continue;
+    }
+    if (c.min_prefix_len == truth->len()) {
+      ++rep.exact_matches;
+    } else if (c.min_prefix_len > truth->len()) {
+      // Candidate is more specific than the truth level — legitimate when
+      // the truth is a distribution prefix containing finer structure.
+      ++rep.more_specific;
+    } else if (truth->len() - c.min_prefix_len == 1) {
+      ++rep.one_bit_short;
+    } else if (truth->len() - c.min_prefix_len == 2) {
+      ++rep.two_bits_short;
+    } else {
+      ++rep.other;
+    }
+  }
+  return rep;
+}
+
+std::vector<Ipv6Addr> stratified_sample(const std::vector<Ipv6Addr>& targets,
+                                        const simnet::Topology& topo) {
+  std::unordered_set<std::uint64_t> taken;  // hash of (subnet base hi, len)
+  std::vector<Ipv6Addr> out;
+  for (const auto& t : targets) {
+    const auto truth = topo.true_subnet(t);
+    if (!truth) continue;
+    const auto key = splitmix64(truth->base().hi() * 131 + truth->len());
+    if (taken.insert(key).second) out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace beholder6::analysis

@@ -1,0 +1,47 @@
+// analysis/validate.hpp — subnet-candidate validation against ground truth
+// (paper §6 "Subnet Validation").
+//
+// The paper validates against interior-prefix truth data from major ISPs
+// and finds exact matches rare (its candidates are lower bounds and often
+// *more* specific than the distribution-level truth), then re-runs on a
+// stratified sample — one target per truth subnet — to cap discovery at
+// the truth granularity. We reproduce both protocols against the simnet
+// ground-truth subnet oracle.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "analysis/pathdiv.hpp"
+#include "simnet/topology.hpp"
+
+namespace beholder6::analysis {
+
+struct ValidationReport {
+  std::size_t candidates = 0;
+  std::size_t exact_matches = 0;       // candidate == true subnet prefix
+  std::size_t more_specific = 0;       // candidate lies inside a true subnet
+  std::size_t one_bit_short = 0;       // length off by exactly one
+  std::size_t two_bits_short = 0;      // length off by exactly two
+  std::size_t other = 0;
+
+  [[nodiscard]] double exact_rate() const {
+    return candidates == 0 ? 0.0
+                           : static_cast<double>(exact_matches) /
+                                 static_cast<double>(candidates);
+  }
+};
+
+/// Compare candidate subnets with the ground-truth subnet containing each
+/// candidate's target address.
+[[nodiscard]] ValidationReport validate_candidates(
+    const std::vector<CandidateSubnet>& candidates, const simnet::Topology& topo);
+
+/// Stratified sampling (the paper's second validation protocol): keep at
+/// most one target per true subnet, so discovery cannot out-resolve the
+/// truth data. Returns the retained targets.
+[[nodiscard]] std::vector<Ipv6Addr> stratified_sample(
+    const std::vector<Ipv6Addr>& targets, const simnet::Topology& topo);
+
+}  // namespace beholder6::analysis

@@ -1,0 +1,102 @@
+// io/trace_io.hpp — campaign output serialization.
+//
+// The paper releases its prober output and discovered-topology datasets.
+// We provide two interchangeable formats:
+//
+//   text   — one reply per line, yarrp-flavoured, diff-friendly:
+//            <target> <ttl> <responder> <type> <code> <rtt_us> <instance>
+//   binary — "B6TR" framed fixed-width records, for large campaigns.
+//
+// Readers reproduce the wire::DecodedReply stream, so a persisted campaign
+// can be replayed into a topology::TraceCollector or analysis pass exactly
+// as if it were live.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "wire/probe.hpp"
+
+namespace beholder6::io {
+
+/// Minimal persisted form of one reply.
+struct TraceRecord {
+  Ipv6Addr target;
+  Ipv6Addr responder;
+  std::uint8_t ttl = 0;
+  std::uint8_t type = 0;
+  std::uint8_t code = 0;
+  std::uint8_t instance = 0;
+  std::uint32_t rtt_us = 0;
+
+  [[nodiscard]] static TraceRecord from_reply(const wire::DecodedReply& r) {
+    TraceRecord rec;
+    rec.target = r.probe.target;
+    rec.responder = r.responder;
+    rec.ttl = r.probe.ttl;
+    rec.type = static_cast<std::uint8_t>(r.type);
+    rec.code = r.code;
+    rec.instance = r.probe.instance;
+    rec.rtt_us = r.rtt_us;
+    return rec;
+  }
+
+  [[nodiscard]] wire::DecodedReply to_reply() const {
+    wire::DecodedReply r;
+    r.probe.target = target;
+    r.responder = responder;
+    r.probe.ttl = ttl;
+    r.type = static_cast<wire::Icmp6Type>(type);
+    r.code = code;
+    r.probe.instance = instance;
+    r.rtt_us = rtt_us;
+    return r;
+  }
+
+  friend bool operator==(const TraceRecord&, const TraceRecord&) = default;
+};
+
+// ---- Text format ----
+
+/// Serialize one record as a single line (no trailing newline).
+[[nodiscard]] std::string to_text_line(const TraceRecord& rec);
+
+/// Parse one line; nullopt on malformed input.
+[[nodiscard]] std::optional<TraceRecord> from_text_line(const std::string& line);
+
+/// Stream writer; one line per record, '#' comment header.
+class TextWriter {
+ public:
+  explicit TextWriter(std::ostream& out);
+  void write(const TraceRecord& rec);
+  [[nodiscard]] std::size_t written() const { return count_; }
+
+ private:
+  std::ostream& out_;
+  std::size_t count_ = 0;
+};
+
+/// Read every record from a text stream, skipping comments and blanks.
+/// Malformed lines are counted, not fatal.
+struct TextReadResult {
+  std::vector<TraceRecord> records;
+  std::size_t malformed = 0;
+};
+[[nodiscard]] TextReadResult read_text(std::istream& in);
+
+// ---- Binary format ----
+
+inline constexpr std::uint32_t kBinaryMagic = 0x42365452;  // "B6TR"
+inline constexpr std::uint16_t kBinaryVersion = 1;
+
+/// Write a whole campaign: header + fixed-width records.
+void write_binary(std::ostream& out, const std::vector<TraceRecord>& records);
+
+/// Read a whole campaign; nullopt on bad magic/version/truncation.
+[[nodiscard]] std::optional<std::vector<TraceRecord>> read_binary(std::istream& in);
+
+}  // namespace beholder6::io

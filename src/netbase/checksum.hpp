@@ -1,0 +1,80 @@
+// netbase/checksum.hpp — RFC 1071 Internet checksum and the ICMPv6 / TCP /
+// UDP pseudo-header checksum over IPv6 (RFC 8200 §8.1).
+//
+// Yarrp6 depends on checksums twice: (1) transport checksums must stay
+// constant per target so per-flow load balancers see one flow — achieved via
+// a 2-byte "fudge" field; (2) a checksum of the target address rides in the
+// source port / ICMPv6 id to detect in-path rewriting.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "netbase/ipv6.hpp"
+
+namespace beholder6 {
+
+/// One's-complement sum folding for the Internet checksum. Accumulate with
+/// add(), then finish() yields the complemented 16-bit checksum.
+class ChecksumAccumulator {
+ public:
+  /// Add a byte range; ranges may be added in any 16-bit aligned chunks. A
+  /// trailing odd byte is padded with zero, so only the final add() may have
+  /// odd length.
+  void add(std::span<const std::uint8_t> data) {
+    std::size_t i = 0;
+    for (; i + 1 < data.size(); i += 2)
+      sum_ += static_cast<std::uint32_t>(data[i]) << 8 | data[i + 1];
+    if (i < data.size()) sum_ += static_cast<std::uint32_t>(data[i]) << 8;
+  }
+
+  void add_u16(std::uint16_t v) { sum_ += v; }
+  void add_u32(std::uint32_t v) { sum_ += (v >> 16) + (v & 0xffff); }
+
+  /// Fold carries and complement. 0 is returned as 0xffff per convention.
+  [[nodiscard]] std::uint16_t finish() const {
+    std::uint32_t s = sum_;
+    while (s >> 16) s = (s & 0xffff) + (s >> 16);
+    const auto c = static_cast<std::uint16_t>(~s);
+    return c == 0 ? 0xffff : c;
+  }
+
+  /// Raw (un-complemented) folded sum; used to compute checksum fudge.
+  [[nodiscard]] std::uint16_t folded_sum() const {
+    std::uint32_t s = sum_;
+    while (s >> 16) s = (s & 0xffff) + (s >> 16);
+    return static_cast<std::uint16_t>(s);
+  }
+
+ private:
+  std::uint32_t sum_ = 0;
+};
+
+/// Plain RFC 1071 checksum of a byte range.
+[[nodiscard]] inline std::uint16_t internet_checksum(std::span<const std::uint8_t> data) {
+  ChecksumAccumulator acc;
+  acc.add(data);
+  return acc.finish();
+}
+
+/// Transport checksum over the IPv6 pseudo-header (src, dst, length,
+/// next-header) plus the transport payload. Used for ICMPv6, TCP and UDP.
+[[nodiscard]] inline std::uint16_t pseudo_header_checksum(
+    const Ipv6Addr& src, const Ipv6Addr& dst, std::uint8_t next_header,
+    std::span<const std::uint8_t> transport) {
+  ChecksumAccumulator acc;
+  acc.add(src.bytes());
+  acc.add(dst.bytes());
+  acc.add_u32(static_cast<std::uint32_t>(transport.size()));
+  acc.add_u16(next_header);
+  acc.add(transport);
+  return acc.finish();
+}
+
+/// The 16-bit target-address checksum yarrp6 stores in the source port /
+/// ICMPv6 identifier so replies reveal in-path destination rewriting.
+[[nodiscard]] inline std::uint16_t target_checksum(const Ipv6Addr& target) {
+  return internet_checksum(target.bytes());
+}
+
+}  // namespace beholder6

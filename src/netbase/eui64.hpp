@@ -1,0 +1,63 @@
+// netbase/eui64.hpp — EUI-64 interface identifiers (RFC 4291 appendix A).
+//
+// Modified EUI-64 IIDs embed a MAC address: the 24-bit OUI (with the
+// universal/local bit flipped), the bytes ff:fe, then the 24-bit NIC
+// specific part. The paper both classifies seed/response IIDs as EUI-64 and
+// shows that CPE routers in two ISPs expose two manufacturers' OUIs; simnet
+// reproduces that by assigning EUI-64 addresses from per-ISP OUI pools.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "netbase/ipv6.hpp"
+
+namespace beholder6 {
+
+/// A 48-bit IEEE MAC address.
+struct Mac {
+  std::array<std::uint8_t, 6> bytes{};
+
+  /// The 24-bit Organizationally Unique Identifier.
+  [[nodiscard]] std::uint32_t oui() const {
+    return static_cast<std::uint32_t>(bytes[0]) << 16 |
+           static_cast<std::uint32_t>(bytes[1]) << 8 | bytes[2];
+  }
+
+  friend bool operator==(const Mac&, const Mac&) = default;
+};
+
+/// Build the modified EUI-64 IID (low 64 bits) for a MAC.
+[[nodiscard]] inline std::uint64_t eui64_iid(const Mac& mac) {
+  std::uint64_t iid = 0;
+  iid |= static_cast<std::uint64_t>(mac.bytes[0] ^ 0x02) << 56;  // flip U/L bit
+  iid |= static_cast<std::uint64_t>(mac.bytes[1]) << 48;
+  iid |= static_cast<std::uint64_t>(mac.bytes[2]) << 40;
+  iid |= 0xfffeULL << 24;
+  iid |= static_cast<std::uint64_t>(mac.bytes[3]) << 16;
+  iid |= static_cast<std::uint64_t>(mac.bytes[4]) << 8;
+  iid |= static_cast<std::uint64_t>(mac.bytes[5]);
+  return iid;
+}
+
+/// If the low 64 bits of `a` are a modified EUI-64 IID, recover the MAC.
+[[nodiscard]] inline std::optional<Mac> eui64_extract(const Ipv6Addr& a) {
+  const std::uint64_t iid = a.lo();
+  if (((iid >> 24) & 0xffff) != 0xfffe) return std::nullopt;
+  Mac m;
+  m.bytes[0] = static_cast<std::uint8_t>((iid >> 56) ^ 0x02);
+  m.bytes[1] = static_cast<std::uint8_t>(iid >> 48);
+  m.bytes[2] = static_cast<std::uint8_t>(iid >> 40);
+  m.bytes[3] = static_cast<std::uint8_t>(iid >> 16);
+  m.bytes[4] = static_cast<std::uint8_t>(iid >> 8);
+  m.bytes[5] = static_cast<std::uint8_t>(iid);
+  return m;
+}
+
+/// True iff the address IID looks like modified EUI-64 (the ff:fe marker).
+[[nodiscard]] inline bool is_eui64(const Ipv6Addr& a) {
+  return ((a.lo() >> 24) & 0xffff) == 0xfffe;
+}
+
+}  // namespace beholder6

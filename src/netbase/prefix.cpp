@@ -1,0 +1,32 @@
+#include "netbase/prefix.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace beholder6 {
+
+std::optional<Prefix> Prefix::parse(std::string_view text) {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) {
+    auto a = Ipv6Addr::parse(text);
+    if (!a) return std::nullopt;
+    return Prefix{*a, 128};
+  }
+  auto a = Ipv6Addr::parse(text.substr(0, slash));
+  if (!a) return std::nullopt;
+  const auto len_text = text.substr(slash + 1);
+  unsigned len = 0;
+  const auto [p, ec] =
+      std::from_chars(len_text.data(), len_text.data() + len_text.size(), len);
+  if (ec != std::errc{} || p != len_text.data() + len_text.size() || len > 128)
+    return std::nullopt;
+  return Prefix{*a, len};
+}
+
+Prefix Prefix::must_parse(std::string_view text) {
+  auto p = parse(text);
+  if (!p) throw std::invalid_argument("bad IPv6 prefix: " + std::string(text));
+  return *p;
+}
+
+}  // namespace beholder6

@@ -1,0 +1,109 @@
+// netbase/radix_trie.hpp — binary trie over IPv6 prefixes with
+// longest-prefix match. Used for the simulated BGP table, routed-space
+// checks during target characterization, and ground-truth subnet lookup.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "netbase/ipv6.hpp"
+#include "netbase/prefix.hpp"
+
+namespace beholder6 {
+
+/// A binary (one bit per level) trie mapping IPv6 prefixes to values of type
+/// V. Supports exact insert/lookup, longest-prefix match, covering test and
+/// in-order enumeration. Not thread-safe for concurrent mutation.
+template <typename V>
+class RadixTrie {
+ public:
+  RadixTrie() : root_(std::make_unique<Node>()) {}
+
+  /// Insert (or overwrite) the value at `p`. Returns true if a new entry was
+  /// created, false if an existing entry was overwritten.
+  bool insert(const Prefix& p, V value) {
+    Node* n = descend_create(p);
+    const bool fresh = !n->value.has_value();
+    n->value = std::move(value);
+    if (fresh) ++size_;
+    return fresh;
+  }
+
+  /// Exact-match lookup.
+  [[nodiscard]] const V* find(const Prefix& p) const {
+    const Node* n = root_.get();
+    for (unsigned i = 0; i < p.len() && n; ++i)
+      n = n->child[p.base().bit(i) ? 1 : 0].get();
+    return (n && n->value) ? &*n->value : nullptr;
+  }
+
+  /// Longest-prefix match for an address: the most specific inserted prefix
+  /// containing `a`, or nullopt if none.
+  [[nodiscard]] std::optional<std::pair<Prefix, const V*>> lpm(const Ipv6Addr& a) const {
+    const Node* n = root_.get();
+    const Node* best = n->value ? n : nullptr;
+    unsigned best_len = 0;
+    for (unsigned i = 0; i < 128 && n; ++i) {
+      n = n->child[a.bit(i) ? 1 : 0].get();
+      if (n && n->value) { best = n; best_len = i + 1; }
+    }
+    if (!best) return std::nullopt;
+    return std::make_pair(Prefix{a.masked(best_len), best_len}, &*best->value);
+  }
+
+  /// True iff some inserted prefix contains `a`.
+  [[nodiscard]] bool covers(const Ipv6Addr& a) const { return lpm(a).has_value(); }
+
+  /// Visit every (prefix, value) pair in address order.
+  template <typename F>
+  void for_each(F f) const {
+    walk(root_.get(), Ipv6Addr{}, 0, f);
+  }
+
+  /// All entries whose prefix is covered by `p` (including `p` itself).
+  [[nodiscard]] std::vector<std::pair<Prefix, V>> subtree(const Prefix& p) const {
+    std::vector<std::pair<Prefix, V>> out;
+    const Node* n = root_.get();
+    for (unsigned i = 0; i < p.len() && n; ++i)
+      n = n->child[p.base().bit(i) ? 1 : 0].get();
+    if (n) {
+      auto collect = [&](const Prefix& q, const V& v) { out.emplace_back(q, v); };
+      walk(n, p.base(), p.len(), collect);
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+ private:
+  struct Node {
+    std::optional<V> value;
+    std::unique_ptr<Node> child[2];
+  };
+
+  Node* descend_create(const Prefix& p) {
+    Node* n = root_.get();
+    for (unsigned i = 0; i < p.len(); ++i) {
+      auto& c = n->child[p.base().bit(i) ? 1 : 0];
+      if (!c) c = std::make_unique<Node>();
+      n = c.get();
+    }
+    return n;
+  }
+
+  template <typename F>
+  static void walk(const Node* n, Ipv6Addr acc, unsigned depth, F& f) {
+    if (n->value) f(Prefix{acc, depth}, *n->value);
+    if (n->child[0]) walk(n->child[0].get(), acc, depth + 1, f);
+    if (n->child[1]) walk(n->child[1].get(), acc.with_bit(depth, true), depth + 1, f);
+  }
+
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace beholder6

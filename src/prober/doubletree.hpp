@@ -1,0 +1,46 @@
+// prober/doubletree.hpp — Doubletree (Donnet et al., SIGMETRICS 2005) as a
+// baseline (paper §4.2).
+//
+// Doubletree starts each trace at an intermediate TTL h0 and probes
+// *forward* until the destination (or gap limit), then *backward* toward
+// the vantage, stopping early when it hits an interface already in the
+// global stop set — exploiting the tree-like redundancy of initial hops.
+//
+// The paper observes a pathology under ICMPv6 rate limiting which this
+// implementation reproduces faithfully: when a near-vantage hop is
+// rate-limited into silence, its address never enters the stop set, so
+// backward probing keeps hammering precisely the drained routers and they
+// never recover. Doubletree also needs h0 tuned per vantage, and its
+// stop-set inference can graft stale path segments — both discussed as
+// fundamental limitations in the paper.
+#pragma once
+
+#include <unordered_set>
+
+#include "prober/prober.hpp"
+
+namespace beholder6::prober {
+
+struct DoubletreeConfig : ProbeConfig {
+  std::uint8_t start_ttl = 6;   // h0: heuristic, per-vantage (paper's gripe)
+  std::uint8_t gap_limit = 5;
+  std::size_t window = 0;       // lockstep window, as in SequentialProber
+  std::uint64_t line_rate_gap_us = 1;
+};
+
+class DoubletreeProber {
+ public:
+  explicit DoubletreeProber(DoubletreeConfig cfg) : cfg_(cfg) {}
+
+  ProbeStats run(simnet::Network& net, const std::vector<Ipv6Addr>& targets,
+                 const ResponseSink& sink);
+
+  /// Interfaces accumulated in the global (backward) stop set.
+  [[nodiscard]] std::size_t stop_set_size() const { return stop_set_.size(); }
+
+ private:
+  DoubletreeConfig cfg_;
+  std::unordered_set<Ipv6Addr, Ipv6AddrHash> stop_set_;
+};
+
+}  // namespace beholder6::prober

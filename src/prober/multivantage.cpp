@@ -1,0 +1,23 @@
+#include "prober/multivantage.hpp"
+
+namespace beholder6::prober {
+
+MultiVantageResult run_multi_vantage(simnet::Network& net,
+                                     const std::vector<simnet::VantageInfo>& vantages,
+                                     const std::vector<Ipv6Addr>& targets,
+                                     Yarrp6Config base_cfg) {
+  MultiVantageResult result;
+  base_cfg.shard_count = vantages.size();
+  for (std::size_t i = 0; i < vantages.size(); ++i) {
+    Yarrp6Config cfg = base_cfg;
+    cfg.src = vantages[i].src;
+    cfg.shard = i;
+    Yarrp6Prober prober{cfg};
+    result.per_vantage.push_back(prober.run(
+        net, targets,
+        [&](const wire::DecodedReply& r) { result.collector.on_reply(r); }));
+  }
+  return result;
+}
+
+}  // namespace beholder6::prober

@@ -1,0 +1,37 @@
+// prober/multivantage.hpp — coordinated multi-vantage campaigns (the
+// paper's §7.2 future work: "leverage our methodology across a large number
+// of vantages ... to provide even greater scope and coverage").
+//
+// All vantages share one permutation key and partition the (target × TTL)
+// space by shard index, so the union of their probes covers the space
+// exactly once: aggregate probing cost equals a single-vantage campaign,
+// while each router sees 1/k of the per-vantage load (the rate-limiting
+// benefit compounds) and destination-side hops are observed from several
+// directions (which is also what exposes router aliases).
+#pragma once
+
+#include <vector>
+
+#include "prober/yarrp6.hpp"
+#include "topology/collector.hpp"
+
+namespace beholder6::prober {
+
+struct MultiVantageResult {
+  topology::TraceCollector collector;       // merged across vantages
+  std::vector<ProbeStats> per_vantage;      // parallel to the vantage list
+  [[nodiscard]] std::uint64_t total_probes() const {
+    std::uint64_t n = 0;
+    for (const auto& s : per_vantage) n += s.probes_sent;
+    return n;
+  }
+};
+
+/// Run one sharded campaign: vantage i probes shard i of the permuted
+/// space through the shared network (shared rate-limiter state — the
+/// vantages really do coexist).
+[[nodiscard]] MultiVantageResult run_multi_vantage(
+    simnet::Network& net, const std::vector<simnet::VantageInfo>& vantages,
+    const std::vector<Ipv6Addr>& targets, Yarrp6Config base_cfg);
+
+}  // namespace beholder6::prober

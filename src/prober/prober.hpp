@@ -1,0 +1,47 @@
+// prober/prober.hpp — common prober vocabulary.
+//
+// All three probers (yarrp6, sequential/scamper-like, Doubletree) emit
+// wire-format probes into a simnet::Network, advance the virtual clock to
+// realize their target probing rate, and feed decoded replies to a sink.
+// The differences between them — probe *order* and clock *pacing* — are
+// exactly the variables the paper's §4.2 experiments isolate.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "netbase/ipv6.hpp"
+#include "simnet/network.hpp"
+#include "wire/probe.hpp"
+
+namespace beholder6::prober {
+
+/// Called for every decoded reply, in arrival order.
+using ResponseSink = std::function<void(const wire::DecodedReply&)>;
+
+/// What a probing campaign reports about itself.
+struct ProbeStats {
+  std::uint64_t probes_sent = 0;
+  std::uint64_t replies = 0;
+  std::uint64_t fills = 0;           // yarrp6 fill-mode probes
+  std::uint64_t neighborhood_skips = 0;  // yarrp6 neighborhood-mode skips
+  std::uint64_t traces = 0;          // number of distinct targets probed
+  std::uint64_t elapsed_virtual_us = 0;
+};
+
+/// Base configuration shared by all probers.
+struct ProbeConfig {
+  Ipv6Addr src;                       // vantage source address
+  wire::Proto proto = wire::Proto::kIcmp6;
+  std::uint8_t max_ttl = 16;
+  double pps = 1000.0;                // average probing rate
+  std::uint8_t instance = 1;
+};
+
+/// Encode, pace, inject and decode one probe; returns true if a reply came
+/// back (the reply is forwarded to `sink` first).
+bool send_probe(simnet::Network& net, const ProbeConfig& cfg, const Ipv6Addr& target,
+                std::uint8_t ttl, const ResponseSink& sink);
+
+}  // namespace beholder6::prober

@@ -1,0 +1,62 @@
+#include "prober/sequential.hpp"
+
+#include <algorithm>
+
+namespace beholder6::prober {
+
+ProbeStats SequentialProber::run(simnet::Network& net,
+                                 const std::vector<Ipv6Addr>& targets,
+                                 const ResponseSink& sink) {
+  ProbeStats stats;
+  stats.traces = targets.size();
+  const std::uint64_t start = net.now_us();
+  const double pps = cfg_.pps > 0 ? cfg_.pps : 1.0;
+  const std::size_t window =
+      cfg_.window ? cfg_.window
+                  : std::max<std::size_t>(1, static_cast<std::size_t>(pps * 0.05));
+
+  struct TraceState {
+    bool done = false;
+    std::uint8_t gaps = 0;
+  };
+
+  for (std::size_t base = 0; base < targets.size(); base += window) {
+    const std::size_t n = std::min(window, targets.size() - base);
+    std::vector<TraceState> state(n);
+    for (std::uint8_t ttl = 1; ttl <= cfg_.max_ttl; ++ttl) {
+      std::size_t sent_in_round = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (state[i].done) continue;
+        const auto& target = targets[base + i];
+        bool terminal = false;
+        auto wrapped = [&](const wire::DecodedReply& rep) {
+          ++stats.replies;
+          // Response from the destination itself (or any non-TE terminal)
+          // completes this trace.
+          terminal = rep.type != wire::Icmp6Type::kTimeExceeded ||
+                     rep.responder == target;
+          if (sink) sink(rep);
+        };
+        ++stats.probes_sent;
+        ++sent_in_round;
+        const bool answered = send_probe(net, cfg_, target, ttl, wrapped);
+        net.advance_us(cfg_.line_rate_gap_us);  // in-burst: line rate
+        if (terminal) state[i].done = true;
+        if (!answered && ++state[i].gaps >= cfg_.gap_limit) state[i].done = true;
+        if (answered) state[i].gaps = 0;
+      }
+      // Idle out the rest of the round so the average rate stays at pps.
+      const auto budget_us =
+          static_cast<std::uint64_t>(static_cast<double>(sent_in_round) * 1e6 / pps);
+      const auto spent_us = sent_in_round * cfg_.line_rate_gap_us;
+      if (budget_us > spent_us) net.advance_us(budget_us - spent_us);
+      if (std::all_of(state.begin(), state.end(),
+                      [](const TraceState& s) { return s.done; }))
+        break;
+    }
+  }
+  stats.elapsed_virtual_us = net.now_us() - start;
+  return stats;
+}
+
+}  // namespace beholder6::prober

@@ -1,0 +1,43 @@
+// prober/sequential.hpp — a scamper-like sequential ICMP-Paris prober.
+//
+// The state-of-the-art baseline the paper measures against (Figure 5). It
+// traces a window of destinations in lockstep: all traces send their TTL-1
+// probes, then their TTL-2 probes, and so on. Because the window stays
+// synchronized, each TTL round hits the shared near-vantage routers as a
+// back-to-back burst — the "per-TTL bursty behavior" the paper identifies
+// in packet captures as the cause of sequential probing's rate-limiting
+// losses. Pacing: bursts go out at line rate, then the prober idles to hold
+// the configured average pps.
+//
+// Paris invariants are inherited from the probe codec (constant header
+// fields per target), and per-trace state lets it stop early at the
+// destination or after `gap_limit` consecutive silent hops — the classic
+// traceroute optimizations yarrp6 deliberately gives up.
+#pragma once
+
+#include "prober/prober.hpp"
+
+namespace beholder6::prober {
+
+struct SequentialConfig : ProbeConfig {
+  /// Traces probed in lockstep per window; 0 derives it from pps (50 ms of
+  /// probes, minimum 1), which is how the burstiness scales with rate.
+  std::size_t window = 0;
+  std::uint8_t gap_limit = 5;   // stop a trace after this many silent hops
+  std::uint64_t line_rate_gap_us = 1;  // in-burst inter-packet gap
+};
+
+class SequentialProber {
+ public:
+  explicit SequentialProber(SequentialConfig cfg) : cfg_(cfg) {}
+
+  ProbeStats run(simnet::Network& net, const std::vector<Ipv6Addr>& targets,
+                 const ResponseSink& sink);
+
+  [[nodiscard]] const SequentialConfig& config() const { return cfg_; }
+
+ private:
+  SequentialConfig cfg_;
+};
+
+}  // namespace beholder6::prober

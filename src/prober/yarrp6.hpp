@@ -1,0 +1,52 @@
+// prober/yarrp6.hpp — the paper's prober (§4.1).
+//
+// Yarrp6 walks the (target × TTL) space in a keyed random permutation,
+// pacing uniformly at the configured pps. It keeps *no per-trace state*:
+// everything needed to interpret a reply rides inside the probe and comes
+// back in the ICMPv6 quotation. Two optional enhancements from the paper:
+//
+//   fill mode      — when a response arrives for a probe with hop limit
+//                    h >= max_ttl, immediately probe the same target at
+//                    h+1 (sequential, but rare and at the path tail),
+//                    up to an absolute hop cap.
+//   neighborhood   — Doubletree-flavored local heuristic: for TTLs at or
+//                    below a threshold, stop probing a TTL whose recent
+//                    probes stopped yielding *new* interface addresses.
+#pragma once
+
+#include <unordered_set>
+
+#include "netbase/permutation.hpp"
+#include "prober/prober.hpp"
+
+namespace beholder6::prober {
+
+struct Yarrp6Config : ProbeConfig {
+  std::uint64_t permutation_key = 0x59a9;
+  /// Sharding for multi-vantage campaigns: this instance walks permuted
+  /// indices shard, shard+shard_count, ... so k vantages with the same key
+  /// and shard_count=k partition the probe space exactly.
+  std::uint64_t shard = 0;
+  std::uint64_t shard_count = 1;
+  bool fill_mode = false;
+  std::uint8_t fill_cap = 32;      // absolute hop-limit ceiling for fills
+  bool neighborhood = false;
+  std::uint8_t neighborhood_ttl = 3;     // TTLs <= this may be skipped
+  std::uint64_t neighborhood_window_us = 2'000'000;  // staleness window
+};
+
+class Yarrp6Prober {
+ public:
+  explicit Yarrp6Prober(Yarrp6Config cfg) : cfg_(cfg) {}
+
+  /// Probe every (target, ttl) pair in permuted order; returns stats.
+  ProbeStats run(simnet::Network& net, const std::vector<Ipv6Addr>& targets,
+                 const ResponseSink& sink);
+
+  [[nodiscard]] const Yarrp6Config& config() const { return cfg_; }
+
+ private:
+  Yarrp6Config cfg_;
+};
+
+}  // namespace beholder6::prober

@@ -1,0 +1,71 @@
+// seeds/classify.hpp — addr6-style interface-identifier classification.
+//
+// The paper classifies seed and result addresses with the SI6 addr6 tool
+// into three IID categories (Table 1 and Table 7): EUI-64 (embedded MAC),
+// lowbyte (a run of zeroes followed by a low value), and randomized
+// (no recognizable pattern). We reproduce those rules.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string_view>
+
+#include "netbase/eui64.hpp"
+#include "netbase/ipv6.hpp"
+
+namespace beholder6::seeds {
+
+enum class IidClass : std::uint8_t {
+  kEui64,
+  kLowByte,
+  kRandom,
+};
+
+/// Classify the interface identifier (low 64 bits) of an address.
+[[nodiscard]] inline IidClass classify_iid(const Ipv6Addr& a) {
+  if (is_eui64(a)) return IidClass::kEui64;
+  // lowbyte: high 48 bits of the IID are zero and the low 16 carry a value
+  // (this covers ::1, ::0042, and the common sequential server numberings).
+  if ((a.lo() >> 16) == 0) return IidClass::kLowByte;
+  return IidClass::kRandom;
+}
+
+[[nodiscard]] constexpr std::string_view to_string(IidClass c) {
+  switch (c) {
+    case IidClass::kEui64: return "eui64";
+    case IidClass::kLowByte: return "lowbyte";
+    case IidClass::kRandom: return "random";
+  }
+  return "?";
+}
+
+/// Aggregate classification over a set of addresses.
+struct IidMix {
+  std::size_t eui64 = 0;
+  std::size_t lowbyte = 0;
+  std::size_t random = 0;
+
+  [[nodiscard]] std::size_t total() const { return eui64 + lowbyte + random; }
+  [[nodiscard]] double frac_eui64() const { return ratio(eui64); }
+  [[nodiscard]] double frac_lowbyte() const { return ratio(lowbyte); }
+  [[nodiscard]] double frac_random() const { return ratio(random); }
+
+ private:
+  [[nodiscard]] double ratio(std::size_t n) const {
+    return total() == 0 ? 0.0 : static_cast<double>(n) / static_cast<double>(total());
+  }
+};
+
+[[nodiscard]] inline IidMix classify_all(std::span<const Ipv6Addr> addrs) {
+  IidMix mix;
+  for (const auto& a : addrs) {
+    switch (classify_iid(a)) {
+      case IidClass::kEui64: ++mix.eui64; break;
+      case IidClass::kLowByte: ++mix.lowbyte; break;
+      case IidClass::kRandom: ++mix.random; break;
+    }
+  }
+  return mix;
+}
+
+}  // namespace beholder6::seeds

@@ -1,0 +1,300 @@
+#include "simnet/network.hpp"
+
+#include "netbase/rng.hpp"
+#include "wire/fragment.hpp"
+#include "wire/headers.hpp"
+#include "wire/probe.hpp"
+
+namespace beholder6::simnet {
+
+using wire::Icmp6Header;
+using wire::Icmp6Type;
+using wire::Ipv6Header;
+using wire::Proto;
+
+TokenBucket& Network::bucket_for(std::uint64_t router_id) {
+  auto it = buckets_.find(router_id);
+  if (it != buckets_.end()) return it->second;
+  if (params_.unlimited) {
+    return buckets_.emplace(router_id, TokenBucket{}).first->second;
+  }
+  const auto hv = splitmix64(router_id ^ 0x6b7c);
+  double rate, burst;
+  if (params_.aggressive_modulus && hv % params_.aggressive_modulus == 0) {
+    rate = params_.aggressive_rate;
+    burst = params_.aggressive_burst;
+  } else {
+    rate = params_.base_rate +
+           static_cast<double>(hv % 1000) / 1000.0 * params_.rate_spread;
+    burst = params_.base_burst +
+            static_cast<double>((hv >> 10) % 1000) / 1000.0 * params_.burst_spread;
+  }
+  return buckets_.emplace(router_id, TokenBucket{rate, burst}).first->second;
+}
+
+bool Network::router_silent(std::uint64_t router_id) const {
+  if (params_.silent_routers.contains(router_id)) return true;
+  if (params_.silent_router_frac <= 0.0) return false;
+  return static_cast<double>(splitmix64(router_id ^ 0x517e) % 1000000) <
+         params_.silent_router_frac * 1e6;
+}
+
+bool Network::consume_token(std::uint64_t router_id) {
+  if (bucket_for(router_id).try_consume(now_us_)) return true;
+  ++stats_.rate_limited;
+  return false;
+}
+
+std::uint64_t Network::flow_hash_of(const Packet& probe) {
+  // Per-flow ECMP key. Routers hash addresses, the flow label, and the
+  // leading transport bytes. Crucially for ICMPv6 the checksum (transport
+  // bytes 2..4) participates — the behaviour the paper's checksum fudge is
+  // designed to neutralize.
+  const auto ip = Ipv6Header::decode(probe);
+  std::uint64_t hsh = 1469598103934665603ULL;
+  auto mix = [&hsh](std::uint8_t b) { hsh ^= b; hsh *= 1099511628211ULL; };
+  for (auto b : ip->src.bytes()) mix(b);
+  for (auto b : ip->dst.bytes()) mix(b);
+  mix(static_cast<std::uint8_t>(ip->flow_label >> 16));
+  mix(static_cast<std::uint8_t>(ip->flow_label >> 8));
+  mix(static_cast<std::uint8_t>(ip->flow_label));
+  mix(ip->next_header);
+  const auto transport = std::span(probe).subspan(Ipv6Header::kSize);
+  const std::size_t n = static_cast<Proto>(ip->next_header) == Proto::kIcmp6
+                            ? 8   // type, code, checksum, id, seq
+                            : 4;  // ports
+  for (std::size_t i = 0; i < n && i < transport.size(); ++i) mix(transport[i]);
+  return hsh;
+}
+
+Packet Network::make_icmp_error(const Ipv6Addr& from, const Ipv6Addr& to,
+                                std::uint8_t type, std::uint8_t code,
+                                const Packet& quoted) const {
+  // RFC 4443: quote as much of the offending packet as fits under the
+  // minimum MTU. Our probes are always small enough to quote whole.
+  Packet pkt;
+  Ipv6Header ip;
+  ip.next_header = static_cast<std::uint8_t>(Proto::kIcmp6);
+  ip.hop_limit = 64;
+  ip.src = from;
+  ip.dst = to;
+  ip.payload_length =
+      static_cast<std::uint16_t>(Icmp6Header::kSize + quoted.size());
+  ip.encode(pkt);
+  Icmp6Header icmp;
+  icmp.type = static_cast<Icmp6Type>(type);
+  icmp.code = code;
+  icmp.encode(pkt);
+  pkt.insert(pkt.end(), quoted.begin(), quoted.end());
+  wire::finalize_transport_checksum(pkt);
+  return pkt;
+}
+
+Packet Network::make_echo_reply(const Ipv6Addr& from, const Ipv6Addr& to,
+                                const Packet& probe) const {
+  // Echo reply: same id/seq/payload as the request (RFC 4443 §4.2).
+  Packet pkt;
+  const auto transport = std::span(probe).subspan(Ipv6Header::kSize);
+  Ipv6Header ip;
+  ip.next_header = static_cast<std::uint8_t>(Proto::kIcmp6);
+  ip.hop_limit = 64;
+  ip.src = from;
+  ip.dst = to;
+  ip.payload_length = static_cast<std::uint16_t>(transport.size());
+  ip.encode(pkt);
+  const auto req = Icmp6Header::decode(transport);
+  Icmp6Header icmp;
+  icmp.type = Icmp6Type::kEchoReply;
+  icmp.id = req->id;
+  icmp.seq = req->seq;
+  icmp.encode(pkt);
+  const auto payload = transport.subspan(Icmp6Header::kSize);
+  pkt.insert(pkt.end(), payload.begin(), payload.end());
+  wire::finalize_transport_checksum(pkt);
+  return pkt;
+}
+
+std::vector<Packet> Network::reply_to_interface_echo(const wire::Ipv6Header& ip,
+                                                     std::uint64_t router_id,
+                                                     const Packet& probe) {
+  ++stats_.echo_replies;
+  const auto reply = make_echo_reply(ip.dst, ip.src, probe);
+  if (reply.size() <= wire::kMinMtu) return {reply};
+  // Oversized: fragment with the router's shared Identification counter.
+  auto [it, fresh] = frag_id_.emplace(
+      router_id, static_cast<std::uint32_t>(splitmix64(router_id) & 0xffffff));
+  const auto id = it->second++;
+  return wire::fragment_packet(reply, id);
+}
+
+std::vector<Packet> Network::inject(const Packet& probe) {
+  ++stats_.probes;
+  // Failure injection: lose this probe's reply with the configured
+  // probability, keyed deterministically off content and time.
+  if (params_.reply_loss > 0.0) {
+    std::uint64_t key = splitmix64(now_us_ ^ 0x10c355);
+    for (std::size_t i = 0; i < probe.size(); i += 7) key = splitmix64(key ^ probe[i]);
+    if (static_cast<double>(key % 1000000) <
+        params_.reply_loss * 1000000.0) {
+      ++stats_.lost_replies;
+      return {};
+    }
+  }
+  const auto ip = Ipv6Header::decode(probe);
+  if (!ip || probe.size() != Ipv6Header::kSize + ip->payload_length) {
+    ++stats_.malformed;
+    return {};
+  }
+  const auto* vantage = topo_.vantage_by_src(ip->src);
+  if (!vantage) {
+    ++stats_.malformed;
+    return {};
+  }
+
+  const auto path =
+      topo_.path(*vantage, ip->dst, flow_hash_of(probe), ip->next_header);
+  const unsigned ttl = ip->hop_limit;
+
+  // Hop-limit expiry inside the path: Time Exceeded, rate limited. Silent
+  // routers forward but never originate ICMPv6, so they stay invisible
+  // (and are not recorded as learned interfaces).
+  if (ttl >= 1 && ttl <= path.hops.size()) {
+    const auto& hop = path.hops[ttl - 1];
+    if (router_silent(hop.router_id)) {
+      ++stats_.silent_drops;
+      return {};
+    }
+    iface_router_.emplace(hop.iface, hop.router_id);
+    if (!consume_token(hop.router_id)) return {};
+    ++stats_.time_exceeded;
+    // Forwarded packets arrive with hop limit run down to zero.
+    Packet quoted = probe;
+    quoted[7] = 0;
+    return {make_icmp_error(hop.iface, ip->src,
+                            static_cast<std::uint8_t>(Icmp6Type::kTimeExceeded),
+                            0, quoted)};
+  }
+
+  // Past every hop: if the destination is a router interface we have
+  // previously revealed, the router itself answers echoes — fragmented when
+  // oversized (the alias-probing path). This outranks the path-end logic:
+  // infrastructure addresses are not in the routed edge hierarchy, but the
+  // router that owns them is reachable all the same.
+  if (static_cast<Proto>(ip->next_header) == Proto::kIcmp6) {
+    const auto it = iface_router_.find(ip->dst);
+    if (it != iface_router_.end()) {
+      const auto icmp =
+          Icmp6Header::decode(std::span(probe).subspan(Ipv6Header::kSize));
+      if (icmp && icmp->type == Icmp6Type::kEchoRequest)
+        return reply_to_interface_echo(*ip, it->second, probe);
+    }
+  }
+
+  // The probe outlives the measured path: terminal behaviour.
+  auto du = [&](const Ipv6Addr& from, wire::UnreachCode code) -> std::vector<Packet> {
+    ++stats_.dest_unreach[static_cast<unsigned>(code)];
+    Packet quoted = probe;
+    quoted[7] = 0;
+    return {make_icmp_error(from, ip->src,
+                            static_cast<std::uint8_t>(Icmp6Type::kDestUnreachable),
+                            static_cast<std::uint8_t>(code), quoted)};
+  };
+  const Ipv6Addr last =
+      path.hops.empty() ? vantage->src : path.hops.back().iface;
+  const std::uint64_t last_id = path.hops.empty() ? 0 : path.hops.back().router_id;
+  // A silent last router suppresses terminal errors the same way it
+  // suppresses Time Exceeded.
+  if (path.end != PathEnd::kDelivered && router_silent(last_id)) {
+    ++stats_.silent_drops;
+    return {};
+  }
+
+  // Terminal errors are generated once per target: real border routers and
+  // firewalls suppress repeated unreachables for the same destination (RFC
+  // 4443 §2.4(f) bounded error rates), so a trace whose hop limit range
+  // extends past the failure point sees one DU and then silence — which is
+  // why Time Exceeded dominates real response distributions (Table 4).
+  auto du_once = [&](wire::UnreachCode code) -> std::vector<Packet> {
+    const auto key = Ipv6AddrHash{}(ip->dst) ^ 0xd0u;
+    if (nd_negative_cache_.contains(key)) {
+      ++stats_.silent_drops;
+      return {};
+    }
+    nd_negative_cache_.insert(key);
+    if (!consume_token(last_id)) return {};
+    return du(last, code);
+  };
+
+  switch (path.end) {
+    case PathEnd::kUnrouted:
+    case PathEnd::kNoRoute:
+      // Routers where a route lookup fails often null-route silently.
+      if (static_cast<double>(splitmix64(last_id ^ 0x9057) % 1000000) <
+          params_.noroute_silent_frac * 1e6) {
+        ++stats_.silent_drops;
+        return {};
+      }
+      return du_once(wire::UnreachCode::kNoRoute);
+
+    case PathEnd::kFirewalled:
+      return du_once(path.firewall_code == 6 ? wire::UnreachCode::kRejectRoute
+                                             : wire::UnreachCode::kAdminProhibited);
+
+    case PathEnd::kTransportDenied:
+      if (path.firewall_code == 0xff) {  // silent drop policy
+        ++stats_.silent_drops;
+        return {};
+      }
+      return du_once(wire::UnreachCode::kAdminProhibited);
+
+    case PathEnd::kDelivered:
+      break;
+  }
+
+  // Delivered into the destination /64.
+  const auto host = topo_.host_at(ip->dst);
+  if (!host) {
+    // Neighbour discovery fails; the gateway answers "address unreachable"
+    // once per target, then caches the negative entry.
+    const auto key = Ipv6AddrHash{}(ip->dst);
+    if (nd_negative_cache_.contains(key)) {
+      ++stats_.silent_drops;
+      return {};
+    }
+    nd_negative_cache_.insert(key);
+    if (router_silent(last_id)) {
+      ++stats_.silent_drops;
+      return {};
+    }
+    if (!consume_token(last_id)) return {};
+    return du(last, wire::UnreachCode::kAddressUnreachable);
+  }
+
+  const auto proto = static_cast<Proto>(ip->next_header);
+  if (host->du_port_responder) {
+    // CPE/host firewall style: replies DU port-unreachable to unsolicited
+    // probes of any transport, through its own error limiter.
+    if (!consume_token(Ipv6AddrHash{}(host->addr))) return {};
+    return du(host->addr, wire::UnreachCode::kPortUnreachable);
+  }
+  switch (proto) {
+    case Proto::kIcmp6:
+      if (host->echo_responder) {
+        ++stats_.echo_replies;
+        return {make_echo_reply(host->addr, ip->src, probe)};
+      }
+      ++stats_.silent_drops;
+      return {};
+    case Proto::kUdp:
+      // No listener on the probe port: port unreachable from the host.
+      if (!consume_token(Ipv6AddrHash{}(host->addr))) return {};
+      return du(host->addr, wire::UnreachCode::kPortUnreachable);
+    case Proto::kTcp:
+    default:
+      // TCP RST / silent policy: no ICMPv6 visible to the prober.
+      ++stats_.silent_drops;
+      return {};
+  }
+}
+
+}  // namespace beholder6::simnet

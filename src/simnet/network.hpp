@@ -1,0 +1,148 @@
+// simnet/network.hpp — the packet-level face of the synthetic Internet.
+//
+// A Network wraps a Topology with the *stateful* parts of the simulation: a
+// virtual microsecond clock, per-router ICMPv6 token buckets, and the
+// neighbour-discovery negative cache that bounds terminal Destination
+// Unreachable chatter. Probers inject raw wire-format IPv6 packets (exactly
+// the bytes they would hand a raw socket) and receive raw wire-format
+// ICMPv6 replies.
+//
+// The virtual clock is the crux of the rate-limiting experiments: a prober
+// "sends at R pps" by advancing the clock 1e6/R microseconds per packet
+// (uniformly for yarrp6, burstily for the sequential prober), and the token
+// buckets respond to that pacing precisely as real routers respond to real
+// wall-clock pacing.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "simnet/token_bucket.hpp"
+#include "simnet/topology.hpp"
+#include "wire/headers.hpp"
+
+namespace beholder6::simnet {
+
+using Packet = std::vector<std::uint8_t>;
+
+struct NetworkParams {
+  /// Default bucket parameters: rate in [base_rate, base_rate+rate_spread)
+  /// tokens/s, burst in [base_burst, base_burst+burst_spread).
+  double base_rate = 150.0;
+  double rate_spread = 500.0;
+  double base_burst = 4.0;
+  double burst_spread = 12.0;
+  /// Roughly one router in `aggressive_modulus` rate-limits much harder.
+  unsigned aggressive_modulus = 7;
+  double aggressive_rate = 25.0;
+  double aggressive_burst = 8.0;
+  /// Disable rate limiting entirely (for discovery-only experiments).
+  bool unlimited = false;
+  /// Failure injection: probability that a reply is lost in flight
+  /// (deterministic in probe content + virtual time, so runs reproduce).
+  double reply_loss = 0.0;
+  /// ICMPv6-silent routers: this fraction of routers never originate
+  /// ICMPv6 errors (a common real-Internet behaviour; it is what stalls the
+  /// paper's fill mode at unresponsive hops). Deterministic in router id.
+  double silent_router_frac = 0.0;
+  /// Specific routers forced silent regardless of the fraction — e.g. the
+  /// paper's "hop five did not respond" premise-path router in the Table 6
+  /// fill-mode trial.
+  std::unordered_set<std::uint64_t> silent_routers;
+  /// Fraction of routers that suppress "no route" unreachables entirely
+  /// (null-route style, "no ip unreachables"). Core routers commonly do;
+  /// edge gateways answering for delivered-but-dead targets do not. This is
+  /// what makes deep (z64) probing elicit relatively more non-Time-Exceeded
+  /// responses per probe than shallow probing (paper Table 3).
+  double noroute_silent_frac = 0.6;
+};
+
+/// Counters the trial benchmarks report (Tables 3, 4 and Figure 5 all
+/// reduce to slices of these).
+struct NetworkStats {
+  std::uint64_t probes = 0;
+  std::uint64_t time_exceeded = 0;
+  std::uint64_t echo_replies = 0;
+  std::uint64_t dest_unreach[7] = {};  // by ICMPv6 code
+  std::uint64_t rate_limited = 0;      // responses suppressed by a bucket
+  std::uint64_t silent_drops = 0;      // policy drops / dead hosts / ND cache
+  std::uint64_t lost_replies = 0;      // injected in-flight loss
+  std::uint64_t malformed = 0;
+
+  [[nodiscard]] std::uint64_t dest_unreach_total() const {
+    std::uint64_t s = 0;
+    for (auto v : dest_unreach) s += v;
+    return s;
+  }
+  [[nodiscard]] std::uint64_t responses() const {
+    return time_exceeded + echo_replies + dest_unreach_total();
+  }
+};
+
+class Network {
+ public:
+  Network(const Topology& topo, NetworkParams params = {})
+      : topo_(topo), params_(params) {}
+
+  /// Virtual clock, microseconds since campaign start.
+  [[nodiscard]] std::uint64_t now_us() const { return now_us_; }
+  void advance_us(std::uint64_t us) { now_us_ += us; }
+
+  /// Inject one wire-format probe; returns zero or one wire-format replies.
+  /// The packet's source address selects the vantage (must be registered in
+  /// the topology).
+  std::vector<Packet> inject(const Packet& probe);
+
+  [[nodiscard]] const NetworkStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+  /// Reset all dynamic state (buckets, caches, clock) between campaigns.
+  void reset() {
+    buckets_.clear();
+    nd_negative_cache_.clear();
+    now_us_ = 0;
+    stats_ = {};
+  }
+
+  [[nodiscard]] const Topology& topology() const { return topo_; }
+
+  /// Router interfaces learned from Time Exceeded responses so far (address
+  /// → router identity). Alias probing targets these directly.
+  [[nodiscard]] const std::unordered_map<Ipv6Addr, std::uint64_t, Ipv6AddrHash>&
+  learned_interfaces() const {
+    return iface_router_;
+  }
+
+  /// Does this router never originate ICMPv6 (forced set or silent
+  /// fraction)? Exposed so experiments can account for expected gaps.
+  [[nodiscard]] bool router_silent(std::uint64_t router_id) const;
+
+ private:
+  std::vector<Packet> reply_to_interface_echo(const wire::Ipv6Header& ip,
+                                              std::uint64_t router_id,
+                                              const Packet& probe);
+  TokenBucket& bucket_for(std::uint64_t router_id);
+  [[nodiscard]] bool consume_token(std::uint64_t router_id);
+  [[nodiscard]] static std::uint64_t flow_hash_of(const Packet& probe);
+  Packet make_icmp_error(const Ipv6Addr& from, const Ipv6Addr& to,
+                         std::uint8_t type, std::uint8_t code,
+                         const Packet& quoted) const;
+  Packet make_echo_reply(const Ipv6Addr& from, const Ipv6Addr& to,
+                         const Packet& probe) const;
+
+  const Topology& topo_;
+  NetworkParams params_;
+  std::uint64_t now_us_ = 0;
+  NetworkStats stats_;
+  std::unordered_map<std::uint64_t, TokenBucket> buckets_;
+  std::unordered_set<std::uint64_t> nd_negative_cache_;
+  std::unordered_map<Ipv6Addr, std::uint64_t, Ipv6AddrHash> iface_router_;
+  // Per-router IPv6 fragment Identification counters. All interfaces of one
+  // router draw from one counter — the signal speedtrap-style alias
+  // resolution exploits.
+  std::unordered_map<std::uint64_t, std::uint32_t> frag_id_;
+};
+
+}  // namespace beholder6::simnet

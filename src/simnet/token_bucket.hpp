@@ -1,0 +1,58 @@
+// simnet/token_bucket.hpp — ICMPv6 error rate limiter (RFC 4443 §2.4(f)).
+//
+// Routers MUST rate-limit the ICMPv6 error messages they originate; the
+// paper's central premise is that this limiting, combined with traceroute's
+// bursty per-TTL probing, starves sequential probers while randomized
+// probing stays under every router's refill rate. We model the canonical
+// token-bucket implementation: capacity `burst`, refilled continuously at
+// `rate` tokens per second of virtual time.
+#pragma once
+
+#include <cstdint>
+
+namespace beholder6::simnet {
+
+/// A token bucket over a microsecond virtual clock.
+class TokenBucket {
+ public:
+  TokenBucket() = default;
+
+  /// rate: tokens per second; burst: bucket capacity (initial fill = full).
+  TokenBucket(double rate_per_s, double burst)
+      : rate_(rate_per_s), burst_(burst), tokens_(burst) {}
+
+  /// Try to take one token at virtual time `now_us`. Returns true (and
+  /// consumes) if a token is available after refill.
+  bool try_consume(std::uint64_t now_us) {
+    refill(now_us);
+    if (tokens_ >= 1.0) {
+      tokens_ -= 1.0;
+      return true;
+    }
+    return false;
+  }
+
+  /// Current token count after refilling to `now_us` (observation only).
+  [[nodiscard]] double peek(std::uint64_t now_us) {
+    refill(now_us);
+    return tokens_;
+  }
+
+  [[nodiscard]] double rate() const { return rate_; }
+  [[nodiscard]] double burst() const { return burst_; }
+
+ private:
+  void refill(std::uint64_t now_us) {
+    if (now_us <= last_us_) return;
+    tokens_ += rate_ * static_cast<double>(now_us - last_us_) / 1e6;
+    if (tokens_ > burst_) tokens_ = burst_;
+    last_us_ = now_us;
+  }
+
+  double rate_ = 1e12;   // effectively unlimited by default
+  double burst_ = 1e12;
+  double tokens_ = 1e12;
+  std::uint64_t last_us_ = 0;
+};
+
+}  // namespace beholder6::simnet

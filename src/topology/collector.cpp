@@ -1,0 +1,82 @@
+#include "topology/collector.hpp"
+
+#include <algorithm>
+
+#include "netbase/eui64.hpp"
+
+namespace beholder6::topology {
+
+void TraceCollector::on_reply(const wire::DecodedReply& reply,
+                              std::uint64_t probes_so_far) {
+  auto& trace = traces_[reply.probe.target];
+  trace.target = reply.probe.target;
+  TraceHop hop;
+  hop.iface = reply.responder;
+  hop.type = reply.type;
+  hop.code = reply.code;
+  hop.rtt_us = reply.rtt_us;
+  trace.hops.emplace(reply.probe.ttl, hop);  // first response per TTL wins
+  if (reply.responder == reply.probe.target) trace.reached = true;
+
+  responders_.insert(reply.responder);
+  if (reply.type == wire::Icmp6Type::kTimeExceeded) {
+    ++te_;
+    interfaces_.insert(reply.responder);
+  } else {
+    ++non_te_;
+  }
+
+  if (probes_so_far >= next_sample_) {
+    curve_.push_back({probes_so_far, interfaces_.size()});
+    next_sample_ = next_sample_ + std::max<std::uint64_t>(64, next_sample_ / 4);
+  }
+}
+
+double TraceCollector::reached_fraction() const {
+  if (traces_.empty()) return 0.0;
+  std::size_t reached = 0;
+  for (const auto& [t, tr] : traces_) reached += tr.reached;
+  return static_cast<double>(reached) / static_cast<double>(traces_.size());
+}
+
+std::uint8_t TraceCollector::path_len_percentile(double q) const {
+  if (traces_.empty()) return 0;
+  std::vector<std::uint8_t> lens;
+  lens.reserve(traces_.size());
+  for (const auto& [t, tr] : traces_) lens.push_back(tr.path_len());
+  std::sort(lens.begin(), lens.end());
+  const auto idx = std::min(lens.size() - 1,
+                            static_cast<std::size_t>(q * static_cast<double>(lens.size())));
+  return lens[idx];
+}
+
+TraceCollector::Eui64Report TraceCollector::eui64_report() const {
+  Eui64Report rep;
+  for (const auto& iface : interfaces_) rep.eui64_interfaces += is_eui64(iface);
+  rep.frac_of_interfaces =
+      interfaces_.empty()
+          ? 0.0
+          : static_cast<double>(rep.eui64_interfaces) / static_cast<double>(interfaces_.size());
+
+  // Offsets: for every trace, every EUI-64 TE hop contributes
+  // (its TTL − path length), 0 meaning it was the last hop on path.
+  std::vector<int> offsets;
+  for (const auto& [t, tr] : traces_) {
+    const int plen = tr.path_len();
+    if (plen == 0) continue;
+    for (const auto& [ttl, hop] : tr.hops) {
+      if (hop.type != wire::Icmp6Type::kTimeExceeded) continue;
+      if (!is_eui64(hop.iface)) continue;
+      offsets.push_back(static_cast<int>(ttl) - plen);
+    }
+  }
+  if (!offsets.empty()) {
+    std::sort(offsets.begin(), offsets.end());
+    rep.offset_median = offsets[offsets.size() / 2];
+    rep.offset_p5 = offsets[static_cast<std::size_t>(
+        0.05 * static_cast<double>(offsets.size()))];
+  }
+  return rep;
+}
+
+}  // namespace beholder6::topology

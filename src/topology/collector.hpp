@@ -1,0 +1,119 @@
+// topology/collector.hpp — reply stream → traces, interfaces, statistics.
+//
+// Yarrp6 decouples probing from topology construction: replies to one
+// target arrive in no particular order, interleaved with every other
+// target's. The TraceCollector reassembles them into per-target traces and
+// maintains the campaign-level aggregates the paper reports (Table 7,
+// Figures 6 and 7): unique interface addresses (sources of Time Exceeded),
+// discovery-vs-probes curves, reached-target rate, path lengths, and the
+// EUI-64 interface analysis with path offsets.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "netbase/ipv6.hpp"
+#include "wire/probe.hpp"
+
+namespace beholder6::topology {
+
+/// One responding hop of a reassembled trace.
+struct TraceHop {
+  Ipv6Addr iface;
+  wire::Icmp6Type type = wire::Icmp6Type::kTimeExceeded;
+  std::uint8_t code = 0;
+  std::uint32_t rtt_us = 0;
+};
+
+/// A reassembled trace toward one target. Hops are keyed by originating
+/// TTL; missing TTLs are unresponsive hops.
+struct Trace {
+  Ipv6Addr target;
+  std::map<std::uint8_t, TraceHop> hops;
+  bool reached = false;  // some response came from the target itself
+
+  /// Highest TTL that drew a Time Exceeded (the measured path length).
+  [[nodiscard]] std::uint8_t path_len() const {
+    std::uint8_t n = 0;
+    for (const auto& [ttl, hop] : hops)
+      if (hop.type == wire::Icmp6Type::kTimeExceeded) n = std::max(n, ttl);
+    return n;
+  }
+
+  /// Ordered responding-hop interfaces (by TTL), Time Exceeded hops only.
+  [[nodiscard]] std::vector<Ipv6Addr> router_hops() const {
+    std::vector<Ipv6Addr> out;
+    for (const auto& [ttl, hop] : hops)
+      if (hop.type == wire::Icmp6Type::kTimeExceeded) out.push_back(hop.iface);
+    return out;
+  }
+};
+
+/// Samples of the discovery curve for Figure 7.
+struct DiscoverySample {
+  std::uint64_t probes;
+  std::uint64_t unique_interfaces;
+};
+
+class TraceCollector {
+ public:
+  /// Feed one decoded reply. `probes_so_far` timestamps the discovery curve.
+  void on_reply(const wire::DecodedReply& reply, std::uint64_t probes_so_far);
+
+  /// Convenience sink binding (keeps a probe counter internally if the
+  /// prober's count is not at hand).
+  void on_reply(const wire::DecodedReply& reply) { on_reply(reply, ++auto_counter_); }
+
+  [[nodiscard]] const std::unordered_map<Ipv6Addr, Trace, Ipv6AddrHash>& traces() const {
+    return traces_;
+  }
+  /// Unique router interface addresses: sources of ICMPv6 Time Exceeded
+  /// (the paper's headline metric).
+  [[nodiscard]] const std::unordered_set<Ipv6Addr, Ipv6AddrHash>& interfaces() const {
+    return interfaces_;
+  }
+  /// Sources of any ICMPv6 response (interfaces ∪ hosts ∪ gateways).
+  [[nodiscard]] const std::unordered_set<Ipv6Addr, Ipv6AddrHash>& responders() const {
+    return responders_;
+  }
+  [[nodiscard]] std::uint64_t non_te_responses() const { return non_te_; }
+  [[nodiscard]] std::uint64_t te_responses() const { return te_; }
+
+  /// Discovery curve sampled at (roughly) logarithmic probe counts.
+  [[nodiscard]] const std::vector<DiscoverySample>& discovery_curve() const {
+    return curve_;
+  }
+
+  /// Fraction of traces whose target itself responded.
+  [[nodiscard]] double reached_fraction() const;
+
+  /// Percentile of per-trace path lengths (0.5 = median, 0.95 = 95th).
+  [[nodiscard]] std::uint8_t path_len_percentile(double q) const;
+
+  /// EUI-64 interface analysis (Table 7's right columns): count of EUI-64
+  /// interfaces and the distribution of their offsets from the end of path
+  /// (0 = last hop, negative = earlier).
+  struct Eui64Report {
+    std::size_t eui64_interfaces = 0;
+    double frac_of_interfaces = 0.0;
+    int offset_median = 0;
+    int offset_p5 = 0;  // 5th percentile (most negative tail)
+  };
+  [[nodiscard]] Eui64Report eui64_report() const;
+
+ private:
+  std::unordered_map<Ipv6Addr, Trace, Ipv6AddrHash> traces_;
+  std::unordered_set<Ipv6Addr, Ipv6AddrHash> interfaces_;
+  std::unordered_set<Ipv6Addr, Ipv6AddrHash> responders_;
+  std::vector<DiscoverySample> curve_;
+  std::uint64_t te_ = 0;
+  std::uint64_t non_te_ = 0;
+  std::uint64_t auto_counter_ = 0;
+  std::uint64_t next_sample_ = 64;
+};
+
+}  // namespace beholder6::topology

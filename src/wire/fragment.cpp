@@ -1,0 +1,112 @@
+#include "wire/fragment.hpp"
+
+#include <algorithm>
+
+#include "wire/buffer.hpp"
+
+namespace beholder6::wire {
+
+void FragmentHeader::encode(std::vector<std::uint8_t>& out) const {
+  Writer w{out};
+  w.u8(next_header);
+  w.u8(0);  // reserved
+  w.u16(static_cast<std::uint16_t>((offset << 3) | (more_fragments ? 1 : 0)));
+  w.u32(identification);
+}
+
+std::optional<FragmentHeader> FragmentHeader::decode(
+    std::span<const std::uint8_t> data) {
+  Reader r{data};
+  FragmentHeader h;
+  h.next_header = r.u8();
+  (void)r.u8();
+  const auto off = r.u16();
+  h.offset = static_cast<std::uint16_t>(off >> 3);
+  h.more_fragments = off & 1;
+  h.identification = r.u32();
+  if (!r.ok()) return std::nullopt;
+  return h;
+}
+
+std::vector<std::vector<std::uint8_t>> fragment_packet(
+    const std::vector<std::uint8_t>& packet, std::uint32_t identification,
+    std::size_t mtu) {
+  if (packet.size() <= mtu) return {packet};
+  const auto ip = Ipv6Header::decode(packet);
+  if (!ip) return {};
+
+  // Fragmentable part: everything after the base header. Per-fragment
+  // payload capacity, rounded down to 8-octet units.
+  const auto payload = std::span(packet).subspan(Ipv6Header::kSize);
+  const std::size_t cap =
+      ((mtu - Ipv6Header::kSize - FragmentHeader::kSize) / 8) * 8;
+
+  std::vector<std::vector<std::uint8_t>> out;
+  std::size_t pos = 0;
+  while (pos < payload.size()) {
+    const std::size_t n = std::min(cap, payload.size() - pos);
+    const bool more = pos + n < payload.size();
+
+    std::vector<std::uint8_t> frag;
+    Ipv6Header fh = *ip;
+    fh.next_header = kFragmentNextHeader;
+    fh.payload_length = static_cast<std::uint16_t>(FragmentHeader::kSize + n);
+    fh.encode(frag);
+    FragmentHeader fragment;
+    fragment.next_header = ip->next_header;
+    fragment.offset = static_cast<std::uint16_t>(pos / 8);
+    fragment.more_fragments = more;
+    fragment.identification = identification;
+    fragment.encode(frag);
+    frag.insert(frag.end(), payload.begin() + static_cast<std::ptrdiff_t>(pos),
+                payload.begin() + static_cast<std::ptrdiff_t>(pos + n));
+    out.push_back(std::move(frag));
+    pos += n;
+  }
+  return out;
+}
+
+std::optional<FragmentHeader> fragment_of(std::span<const std::uint8_t> packet) {
+  const auto ip = Ipv6Header::decode(packet);
+  if (!ip || ip->next_header != kFragmentNextHeader) return std::nullopt;
+  if (packet.size() < Ipv6Header::kSize + FragmentHeader::kSize) return std::nullopt;
+  return FragmentHeader::decode(packet.subspan(Ipv6Header::kSize));
+}
+
+std::optional<std::vector<std::uint8_t>> reassemble(
+    const std::vector<std::vector<std::uint8_t>>& fragments) {
+  if (fragments.empty()) return std::nullopt;
+  struct Piece {
+    FragmentHeader h;
+    std::span<const std::uint8_t> data;
+  };
+  std::vector<Piece> pieces;
+  for (const auto& f : fragments) {
+    const auto h = fragment_of(f);
+    if (!h) return std::nullopt;
+    pieces.push_back({*h, std::span(f).subspan(Ipv6Header::kSize + FragmentHeader::kSize)});
+  }
+  std::sort(pieces.begin(), pieces.end(),
+            [](const Piece& a, const Piece& b) { return a.h.offset < b.h.offset; });
+  const auto id = pieces[0].h.identification;
+  if (pieces[0].h.offset != 0 || pieces.back().h.more_fragments) return std::nullopt;
+
+  const auto ip = Ipv6Header::decode(fragments[0]);
+  std::vector<std::uint8_t> whole;
+  Ipv6Header oh = *ip;
+  oh.next_header = pieces[0].h.next_header;
+  std::size_t expected = 0;
+  std::size_t total = 0;
+  for (const auto& p : pieces) total += p.data.size();
+  oh.payload_length = static_cast<std::uint16_t>(total);
+  oh.encode(whole);
+  for (const auto& p : pieces) {
+    if (p.h.identification != id) return std::nullopt;
+    if (p.h.offset * 8u != expected) return std::nullopt;  // gap or overlap
+    whole.insert(whole.end(), p.data.begin(), p.data.end());
+    expected += p.data.size();
+  }
+  return whole;
+}
+
+}  // namespace beholder6::wire

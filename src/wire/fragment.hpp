@@ -1,0 +1,50 @@
+// wire/fragment.hpp — IPv6 Fragment extension header (RFC 8200 §4.5).
+//
+// Needed by the speedtrap-style alias-resolution extension: large ICMPv6
+// echo replies from routers are fragmented, and each fragment carries the
+// router's 32-bit Identification counter. Interfaces whose identification
+// sequences interleave monotonically share one counter — one router.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "wire/headers.hpp"
+
+namespace beholder6::wire {
+
+inline constexpr std::uint8_t kFragmentNextHeader = 44;
+/// Conservative fragmentation threshold: the IPv6 minimum link MTU.
+inline constexpr std::size_t kMinMtu = 1280;
+
+struct FragmentHeader {
+  std::uint8_t next_header = 0;
+  std::uint16_t offset = 0;  // in 8-octet units
+  bool more_fragments = false;
+  std::uint32_t identification = 0;
+
+  static constexpr std::size_t kSize = 8;
+
+  void encode(std::vector<std::uint8_t>& out) const;
+  static std::optional<FragmentHeader> decode(std::span<const std::uint8_t> data);
+};
+
+/// Split an assembled IPv6 packet (40B header + payload) into fragments
+/// that fit `mtu`, all tagged with `identification`. A packet that already
+/// fits is returned unchanged (no fragment header added).
+[[nodiscard]] std::vector<std::vector<std::uint8_t>> fragment_packet(
+    const std::vector<std::uint8_t>& packet, std::uint32_t identification,
+    std::size_t mtu = kMinMtu);
+
+/// If the packet carries a fragment header, return it.
+[[nodiscard]] std::optional<FragmentHeader> fragment_of(
+    std::span<const std::uint8_t> packet);
+
+/// Reassemble fragments (same identification, contiguous) into the original
+/// packet. Returns nullopt on gaps or mismatched ids.
+[[nodiscard]] std::optional<std::vector<std::uint8_t>> reassemble(
+    const std::vector<std::vector<std::uint8_t>>& fragments);
+
+}  // namespace beholder6::wire

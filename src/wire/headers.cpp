@@ -1,0 +1,153 @@
+#include "wire/headers.hpp"
+
+#include "netbase/checksum.hpp"
+#include "wire/buffer.hpp"
+
+namespace beholder6::wire {
+
+void Ipv6Header::encode(std::vector<std::uint8_t>& out) const {
+  Writer w{out};
+  w.u32((6u << 28) | (static_cast<std::uint32_t>(traffic_class) << 20) |
+        (flow_label & 0xfffff));
+  w.u16(payload_length);
+  w.u8(next_header);
+  w.u8(hop_limit);
+  w.bytes(src.bytes());
+  w.bytes(dst.bytes());
+}
+
+std::optional<Ipv6Header> Ipv6Header::decode(std::span<const std::uint8_t> data) {
+  Reader r{data};
+  Ipv6Header h;
+  const auto vcf = r.u32();
+  if (!r.ok() || (vcf >> 28) != 6) return std::nullopt;
+  h.traffic_class = static_cast<std::uint8_t>((vcf >> 20) & 0xff);
+  h.flow_label = vcf & 0xfffff;
+  h.payload_length = r.u16();
+  h.next_header = r.u8();
+  h.hop_limit = r.u8();
+  const auto s = r.bytes(16), d = r.bytes(16);
+  if (!r.ok()) return std::nullopt;
+  std::array<std::uint8_t, 16> tmp{};
+  std::copy(s.begin(), s.end(), tmp.begin());
+  h.src = Ipv6Addr{tmp};
+  std::copy(d.begin(), d.end(), tmp.begin());
+  h.dst = Ipv6Addr{tmp};
+  return h;
+}
+
+void Icmp6Header::encode(std::vector<std::uint8_t>& out) const {
+  Writer w{out};
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u8(code);
+  w.u16(checksum);
+  w.u16(id);
+  w.u16(seq);
+}
+
+std::optional<Icmp6Header> Icmp6Header::decode(std::span<const std::uint8_t> data) {
+  Reader r{data};
+  Icmp6Header h;
+  h.type = static_cast<Icmp6Type>(r.u8());
+  h.code = r.u8();
+  h.checksum = r.u16();
+  h.id = r.u16();
+  h.seq = r.u16();
+  if (!r.ok()) return std::nullopt;
+  return h;
+}
+
+void UdpHeader::encode(std::vector<std::uint8_t>& out) const {
+  Writer w{out};
+  w.u16(src_port);
+  w.u16(dst_port);
+  w.u16(length);
+  w.u16(checksum);
+}
+
+std::optional<UdpHeader> UdpHeader::decode(std::span<const std::uint8_t> data) {
+  Reader r{data};
+  UdpHeader h;
+  h.src_port = r.u16();
+  h.dst_port = r.u16();
+  h.length = r.u16();
+  h.checksum = r.u16();
+  if (!r.ok()) return std::nullopt;
+  return h;
+}
+
+void TcpHeader::encode(std::vector<std::uint8_t>& out) const {
+  Writer w{out};
+  w.u16(src_port);
+  w.u16(dst_port);
+  w.u32(seq);
+  w.u32(ack);
+  w.u8(5u << 4);  // data offset 5 words, no options
+  w.u8(flags);
+  w.u16(window);
+  w.u16(checksum);
+  w.u16(0);  // urgent pointer
+}
+
+std::optional<TcpHeader> TcpHeader::decode(std::span<const std::uint8_t> data) {
+  Reader r{data};
+  TcpHeader h;
+  h.src_port = r.u16();
+  h.dst_port = r.u16();
+  h.seq = r.u32();
+  h.ack = r.u32();
+  const auto off = r.u8();
+  h.flags = r.u8();
+  h.window = r.u16();
+  h.checksum = r.u16();
+  (void)r.u16();  // urgent pointer
+  if (!r.ok() || (off >> 4) < 5) return std::nullopt;
+  return h;
+}
+
+namespace {
+
+/// Locate the transport checksum field offset within the transport section.
+/// Returns SIZE_MAX for protocols without one we handle.
+std::size_t checksum_offset(std::uint8_t next_header) {
+  switch (static_cast<Proto>(next_header)) {
+    case Proto::kIcmp6: return 2;
+    case Proto::kUdp: return 6;
+    case Proto::kTcp: return 16;
+  }
+  return SIZE_MAX;
+}
+
+}  // namespace
+
+bool finalize_transport_checksum(std::vector<std::uint8_t>& packet) {
+  auto ip = Ipv6Header::decode(packet);
+  if (!ip || packet.size() < Ipv6Header::kSize) return false;
+  const auto off = checksum_offset(ip->next_header);
+  if (off == SIZE_MAX) return false;
+  auto transport = std::span(packet).subspan(Ipv6Header::kSize);
+  if (transport.size() < off + 2) return false;
+  transport[off] = transport[off + 1] = 0;
+  const auto c = pseudo_header_checksum(ip->src, ip->dst, ip->next_header, transport);
+  transport[off] = static_cast<std::uint8_t>(c >> 8);
+  transport[off + 1] = static_cast<std::uint8_t>(c);
+  return true;
+}
+
+bool verify_transport_checksum(std::span<const std::uint8_t> packet) {
+  auto ip = Ipv6Header::decode(packet);
+  if (!ip) return false;
+  const auto off = checksum_offset(ip->next_header);
+  if (off == SIZE_MAX) return false;
+  auto transport = packet.subspan(Ipv6Header::kSize);
+  if (transport.size() < off + 2) return false;
+  ChecksumAccumulator acc;
+  acc.add(ip->src.bytes());
+  acc.add(ip->dst.bytes());
+  acc.add_u32(static_cast<std::uint32_t>(transport.size()));
+  acc.add_u16(ip->next_header);
+  acc.add(transport);
+  return acc.folded_sum() == 0xffff;
+}
+
+}  // namespace beholder6::wire

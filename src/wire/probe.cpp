@@ -1,0 +1,218 @@
+#include "wire/probe.hpp"
+
+#include "netbase/checksum.hpp"
+#include "wire/buffer.hpp"
+
+namespace beholder6::wire {
+
+namespace {
+
+constexpr std::size_t kYarrpPayloadSize = 12;
+
+/// One's-complement 16-bit sum of the payload words other than the fudge:
+/// magic (2 words), instance|ttl (1 word), elapsed (2 words).
+std::uint16_t payload_partial_sum(std::uint32_t magic, std::uint8_t instance,
+                                  std::uint8_t ttl, std::uint32_t elapsed_us) {
+  ChecksumAccumulator acc;
+  acc.add_u32(magic);
+  acc.add_u16(static_cast<std::uint16_t>(instance << 8 | ttl));
+  acc.add_u32(elapsed_us);
+  return acc.folded_sum();
+}
+
+void encode_yarrp_payload(std::vector<std::uint8_t>& out, const ProbeSpec& s) {
+  Writer w{out};
+  w.u32(kYarrpMagic);
+  w.u8(s.instance);
+  w.u8(s.ttl);
+  w.u32(s.elapsed_us);
+  w.u16(payload_fudge(kYarrpMagic, s.instance, s.ttl, s.elapsed_us));
+}
+
+/// Flow label derived from the target only: constant across the probes of
+/// one trace so flow-label-keyed balancers keep the path stable.
+std::uint32_t flow_label_for(const Ipv6Addr& target) {
+  return (static_cast<std::uint32_t>(target_checksum(target)) * 2654435761u) & 0xfffff;
+}
+
+}  // namespace
+
+std::uint16_t payload_fudge(std::uint32_t magic, std::uint8_t instance,
+                            std::uint8_t ttl, std::uint32_t elapsed_us) {
+  // Choose fudge so partial_sum + fudge ≡ 0xffff (mod one's complement),
+  // i.e. the payload contributes the constant 0xffff to any enclosing sum.
+  return static_cast<std::uint16_t>(0xffff - payload_partial_sum(magic, instance, ttl, elapsed_us));
+}
+
+std::vector<std::uint8_t> encode_probe(const ProbeSpec& spec) {
+  std::vector<std::uint8_t> pkt;
+  pkt.reserve(Ipv6Header::kSize + TcpHeader::kSize + kYarrpPayloadSize);
+
+  std::size_t transport_size = kYarrpPayloadSize;
+  switch (spec.proto) {
+    case Proto::kIcmp6: transport_size += Icmp6Header::kSize; break;
+    case Proto::kUdp: transport_size += UdpHeader::kSize; break;
+    case Proto::kTcp: transport_size += TcpHeader::kSize; break;
+  }
+
+  Ipv6Header ip;
+  ip.flow_label = flow_label_for(spec.target);
+  ip.payload_length = static_cast<std::uint16_t>(transport_size);
+  ip.next_header = static_cast<std::uint8_t>(spec.proto);
+  ip.hop_limit = spec.ttl;
+  ip.src = spec.src;
+  ip.dst = spec.target;
+  ip.encode(pkt);
+
+  const std::uint16_t tcksum = target_checksum(spec.target);
+  switch (spec.proto) {
+    case Proto::kIcmp6: {
+      Icmp6Header h;
+      h.type = Icmp6Type::kEchoRequest;
+      h.code = 0;
+      h.id = tcksum;
+      h.seq = kProbePort;
+      h.encode(pkt);
+      break;
+    }
+    case Proto::kUdp: {
+      UdpHeader h;
+      h.src_port = tcksum;
+      h.dst_port = kProbePort;
+      h.length = static_cast<std::uint16_t>(UdpHeader::kSize + kYarrpPayloadSize);
+      h.encode(pkt);
+      break;
+    }
+    case Proto::kTcp: {
+      TcpHeader h;
+      h.src_port = tcksum;
+      h.dst_port = kProbePort;
+      h.flags = spec.tcp_flags;
+      h.encode(pkt);
+      break;
+    }
+  }
+  encode_yarrp_payload(pkt, spec);
+  finalize_transport_checksum(pkt);
+  return pkt;
+}
+
+std::optional<ProbeSpec> decode_probe(std::span<const std::uint8_t> packet) {
+  const auto ip = Ipv6Header::decode(packet);
+  if (!ip) return std::nullopt;
+  if (packet.size() < Ipv6Header::kSize) return std::nullopt;
+  auto transport = packet.subspan(Ipv6Header::kSize);
+
+  ProbeSpec s;
+  s.src = ip->src;
+  s.target = ip->dst;
+  s.ttl = ip->hop_limit;
+
+  std::span<const std::uint8_t> payload;
+  switch (static_cast<Proto>(ip->next_header)) {
+    case Proto::kIcmp6: {
+      const auto h = Icmp6Header::decode(transport);
+      if (!h || h->type != Icmp6Type::kEchoRequest) return std::nullopt;
+      if (transport.size() < Icmp6Header::kSize + kYarrpPayloadSize) return std::nullopt;
+      payload = transport.subspan(Icmp6Header::kSize);
+      s.proto = Proto::kIcmp6;
+      break;
+    }
+    case Proto::kUdp: {
+      if (!UdpHeader::decode(transport)) return std::nullopt;
+      if (transport.size() < UdpHeader::kSize + kYarrpPayloadSize) return std::nullopt;
+      payload = transport.subspan(UdpHeader::kSize);
+      s.proto = Proto::kUdp;
+      break;
+    }
+    case Proto::kTcp: {
+      const auto h = TcpHeader::decode(transport);
+      if (!h) return std::nullopt;
+      if (transport.size() < TcpHeader::kSize + kYarrpPayloadSize) return std::nullopt;
+      payload = transport.subspan(TcpHeader::kSize);
+      s.proto = Proto::kTcp;
+      s.tcp_flags = h->flags;
+      break;
+    }
+    default:
+      return std::nullopt;
+  }
+
+  Reader r{payload};
+  if (r.u32() != kYarrpMagic) return std::nullopt;
+  s.instance = r.u8();
+  const auto payload_ttl = r.u8();
+  s.elapsed_us = r.u32();
+  if (!r.ok()) return std::nullopt;
+  // On the outbound wire the header hop limit equals the payload TTL; after
+  // forwarding the header field is decremented while the payload keeps the
+  // originating value — which is exactly the state yarrp6 relies on. Always
+  // report the payload's originating TTL.
+  s.ttl = payload_ttl;
+  return s;
+}
+
+std::optional<DecodedReply> decode_reply(std::span<const std::uint8_t> packet,
+                                         std::uint32_t now_elapsed_us) {
+  const auto ip = Ipv6Header::decode(packet);
+  if (!ip || static_cast<Proto>(ip->next_header) != Proto::kIcmp6) return std::nullopt;
+  if (packet.size() < Ipv6Header::kSize + Icmp6Header::kSize) return std::nullopt;
+  auto transport = packet.subspan(Ipv6Header::kSize);
+  const auto icmp = Icmp6Header::decode(transport);
+  if (!icmp) return std::nullopt;
+
+  if (icmp->type == Icmp6Type::kEchoReply) {
+    // An echo reply from the target itself: no quotation, but the reply data
+    // echoes our 12B state block verbatim (RFC 4443 §4.2), so the stateless
+    // recovery works the same way. The responder *is* the target.
+    Reader r{transport.subspan(Icmp6Header::kSize)};
+    if (r.u32() != kYarrpMagic) return std::nullopt;
+    DecodedReply reply;
+    reply.responder = ip->src;
+    reply.type = Icmp6Type::kEchoReply;
+    reply.code = 0;
+    reply.probe.target = ip->src;
+    reply.probe.proto = Proto::kIcmp6;
+    reply.probe.instance = r.u8();
+    reply.probe.ttl = r.u8();
+    reply.probe.elapsed_us = r.u32();
+    if (!r.ok()) return std::nullopt;
+    reply.rtt_us = now_elapsed_us - reply.probe.elapsed_us;
+    // The echoed id carries the checksum of the address we targeted; if it
+    // no longer matches the responder, the reply came from somewhere else.
+    reply.probe.target_checksum_ok = icmp->id == target_checksum(ip->src);
+    return reply;
+  }
+
+  if (!icmp->is_error()) return std::nullopt;
+
+  // The quotation begins after the 8-byte ICMPv6 error header.
+  const auto quote = transport.subspan(Icmp6Header::kSize);
+  const auto probe = decode_probe(quote);
+  if (!probe) return std::nullopt;
+
+  DecodedReply reply;
+  reply.responder = ip->src;
+  reply.type = icmp->type;
+  reply.code = icmp->code;
+  reply.probe.target = probe->target;
+  reply.probe.proto = probe->proto;
+  reply.probe.ttl = probe->ttl;
+  reply.probe.elapsed_us = probe->elapsed_us;
+  reply.probe.instance = probe->instance;
+  reply.rtt_us = now_elapsed_us - probe->elapsed_us;
+
+  // Validate the target checksum riding in the quoted source port / id.
+  const auto quoted_ip = Ipv6Header::decode(quote);
+  const auto quoted_transport = quote.subspan(Ipv6Header::kSize);
+  std::uint16_t carried = 0;
+  switch (static_cast<Proto>(quoted_ip->next_header)) {
+    case Proto::kIcmp6: carried = Icmp6Header::decode(quoted_transport)->id; break;
+    case Proto::kUdp: carried = UdpHeader::decode(quoted_transport)->src_port; break;
+    case Proto::kTcp: carried = TcpHeader::decode(quoted_transport)->src_port; break;
+  }
+  reply.probe.target_checksum_ok = carried == target_checksum(probe->target);
+  return reply;
+}
+
+}  // namespace beholder6::wire

@@ -1,0 +1,123 @@
+// Tests for RadixTrie: insert/find/LPM/subtree semantics.
+#include "netbase/radix_trie.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace beholder6 {
+namespace {
+
+TEST(RadixTrie, InsertAndExactFind) {
+  RadixTrie<int> t;
+  EXPECT_TRUE(t.insert(Prefix::must_parse("2001:db8::/32"), 1));
+  EXPECT_FALSE(t.insert(Prefix::must_parse("2001:db8::/32"), 2));  // overwrite
+  ASSERT_NE(t.find(Prefix::must_parse("2001:db8::/32")), nullptr);
+  EXPECT_EQ(*t.find(Prefix::must_parse("2001:db8::/32")), 2);
+  EXPECT_EQ(t.find(Prefix::must_parse("2001:db8::/33")), nullptr);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(RadixTrie, LongestPrefixMatchPicksMostSpecific) {
+  RadixTrie<std::string> t;
+  t.insert(Prefix::must_parse("2001:db8::/32"), "coarse");
+  t.insert(Prefix::must_parse("2001:db8:1::/48"), "mid");
+  t.insert(Prefix::must_parse("2001:db8:1:2::/64"), "fine");
+
+  auto m = t.lpm(Ipv6Addr::must_parse("2001:db8:1:2::99"));
+  ASSERT_TRUE(m);
+  EXPECT_EQ(*m->second, "fine");
+  EXPECT_EQ(m->first, Prefix::must_parse("2001:db8:1:2::/64"));
+
+  m = t.lpm(Ipv6Addr::must_parse("2001:db8:1:3::99"));
+  ASSERT_TRUE(m);
+  EXPECT_EQ(*m->second, "mid");
+
+  m = t.lpm(Ipv6Addr::must_parse("2001:db8:ffff::1"));
+  ASSERT_TRUE(m);
+  EXPECT_EQ(*m->second, "coarse");
+
+  EXPECT_FALSE(t.lpm(Ipv6Addr::must_parse("2001:db9::1")));
+}
+
+TEST(RadixTrie, DefaultRouteMatchesAll) {
+  RadixTrie<int> t;
+  t.insert(Prefix::must_parse("::/0"), 7);
+  auto m = t.lpm(Ipv6Addr::must_parse("ffff:ffff::1"));
+  ASSERT_TRUE(m);
+  EXPECT_EQ(*m->second, 7);
+  EXPECT_EQ(m->first.len(), 0u);
+}
+
+TEST(RadixTrie, CoversMatchesContainment) {
+  RadixTrie<int> t;
+  t.insert(Prefix::must_parse("2001:db8::/32"), 0);
+  EXPECT_TRUE(t.covers(Ipv6Addr::must_parse("2001:db8:abcd::1")));
+  EXPECT_FALSE(t.covers(Ipv6Addr::must_parse("2002::1")));
+}
+
+TEST(RadixTrie, ForEachVisitsInAddressOrder) {
+  RadixTrie<int> t;
+  t.insert(Prefix::must_parse("2001:db9::/32"), 3);
+  t.insert(Prefix::must_parse("2001:db8::/32"), 1);
+  t.insert(Prefix::must_parse("2001:db8:1::/48"), 2);
+  std::vector<Prefix> seen;
+  t.for_each([&](const Prefix& p, int) { seen.push_back(p); });
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], Prefix::must_parse("2001:db8::/32"));
+  EXPECT_EQ(seen[1], Prefix::must_parse("2001:db8:1::/48"));
+  EXPECT_EQ(seen[2], Prefix::must_parse("2001:db9::/32"));
+}
+
+TEST(RadixTrie, SubtreeEnumeratesCoveredEntries) {
+  RadixTrie<int> t;
+  t.insert(Prefix::must_parse("2001:db8::/32"), 1);
+  t.insert(Prefix::must_parse("2001:db8:1::/48"), 2);
+  t.insert(Prefix::must_parse("2001:db8:1:2::/64"), 3);
+  t.insert(Prefix::must_parse("2001:db9::/32"), 4);
+
+  const auto sub = t.subtree(Prefix::must_parse("2001:db8:1::/48"));
+  ASSERT_EQ(sub.size(), 2u);
+  EXPECT_EQ(sub[0].second, 2);
+  EXPECT_EQ(sub[1].second, 3);
+}
+
+TEST(RadixTrie, EmptyTrieBehaves) {
+  RadixTrie<int> t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_FALSE(t.lpm(Ipv6Addr::must_parse("::1")));
+  EXPECT_EQ(t.find(Prefix::must_parse("::/0")), nullptr);
+  EXPECT_TRUE(t.subtree(Prefix::must_parse("2001::/16")).empty());
+}
+
+TEST(RadixTrie, ManyRandomPrefixesLpmAgreesWithLinearScan) {
+  RadixTrie<unsigned> t;
+  std::vector<Prefix> prefixes;
+  // Deterministic pseudo-random prefix population.
+  std::uint64_t x = 42;
+  auto next = [&x] { x = x * 6364136223846793005ULL + 1442695040888963407ULL; return x; };
+  for (unsigned i = 0; i < 300; ++i) {
+    const auto hi = next();
+    const unsigned len = 16 + static_cast<unsigned>(next() % 49);  // 16..64
+    Prefix p{Ipv6Addr::from_halves(hi, 0), len};
+    prefixes.push_back(p);
+    t.insert(p, i);
+  }
+  for (unsigned i = 0; i < 300; ++i) {
+    const auto probe = Ipv6Addr::from_halves(next(), next());
+    // Linear-scan reference: most specific containing prefix.
+    const Prefix* best = nullptr;
+    for (const auto& p : prefixes)
+      if (p.contains(probe) && (!best || p.len() > best->len())) best = &p;
+    const auto got = t.lpm(probe);
+    if (!best) {
+      EXPECT_FALSE(got);
+    } else {
+      ASSERT_TRUE(got);
+      EXPECT_EQ(got->first.len(), best->len());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace beholder6

@@ -1,0 +1,107 @@
+// Failure-injection tests: in-flight reply loss and how the pipeline
+// degrades (collector gaps, conservative path-divergence behaviour).
+#include <gtest/gtest.h>
+
+#include "analysis/pathdiv.hpp"
+#include "prober/yarrp6.hpp"
+#include "simnet/network.hpp"
+#include "target/synthesis.hpp"
+#include "topology/collector.hpp"
+
+namespace beholder6::simnet {
+namespace {
+
+class FailureInjectionTest : public ::testing::Test {
+ protected:
+  FailureInjectionTest() : topo_(TopologyParams{}) {}
+
+  std::vector<Ipv6Addr> university_targets(std::size_t n) {
+    std::vector<Ipv6Addr> out;
+    for (const auto& as : topo_.ases()) {
+      if (as.type != AsType::kUniversity) continue;
+      // The paper's divergence rules reject last hops inside the vantage's
+      // own ASN; probe a university we are not homed in.
+      if (as.asn == topo_.vantages()[0].asn) continue;
+      for (const auto& s : topo_.enumerate_subnets(as, n))
+        out.push_back(s.base() | Ipv6Addr::from_halves(0, target::kFixedIid));
+      if (out.size() >= n) break;
+    }
+    out.resize(std::min(out.size(), n));
+    return out;
+  }
+
+  topology::TraceCollector run(double loss, prober::ProbeStats* stats_out = nullptr) {
+    NetworkParams np;
+    np.unlimited = true;
+    np.reply_loss = loss;
+    Network net{topo_, np};
+    prober::Yarrp6Config cfg;
+    cfg.src = topo_.vantages()[0].src;
+    cfg.pps = 100000;
+    cfg.max_ttl = 16;
+    topology::TraceCollector c;
+    const auto stats = prober::Yarrp6Prober{cfg}.run(
+        net, university_targets(60), [&](const wire::DecodedReply& r) { c.on_reply(r); });
+    if (stats_out) *stats_out = stats;
+    last_net_stats_ = net.stats();
+    return c;
+  }
+
+  Topology topo_;
+  NetworkStats last_net_stats_;
+};
+
+TEST_F(FailureInjectionTest, LossRateIsRespected) {
+  prober::ProbeStats clean_stats, lossy_stats;
+  (void)run(0.0, &clean_stats);
+  const auto clean_lost = last_net_stats_.lost_replies;
+  (void)run(0.3, &lossy_stats);
+  EXPECT_EQ(clean_lost, 0u);
+  const double observed = static_cast<double>(last_net_stats_.lost_replies) /
+                          static_cast<double>(last_net_stats_.probes);
+  EXPECT_NEAR(observed, 0.3, 0.05);
+  EXPECT_LT(lossy_stats.replies, clean_stats.replies);
+}
+
+TEST_F(FailureInjectionTest, LossIsDeterministic) {
+  prober::ProbeStats a, b;
+  (void)run(0.25, &a);
+  (void)run(0.25, &b);
+  EXPECT_EQ(a.replies, b.replies);
+}
+
+TEST_F(FailureInjectionTest, TracesDevelopGaps) {
+  const auto clean = run(0.0);
+  const auto lossy = run(0.4);
+  auto gap_count = [](const topology::TraceCollector& c) {
+    std::size_t gaps = 0;
+    for (const auto& [t, tr] : c.traces()) {
+      const auto plen = tr.path_len();
+      for (std::uint8_t ttl = 1; ttl <= plen; ++ttl)
+        gaps += !tr.hops.contains(ttl);
+    }
+    return gaps;
+  };
+  EXPECT_EQ(gap_count(clean), 0u) << "no gaps without loss (unlimited buckets)";
+  EXPECT_GT(gap_count(lossy), 10u);
+}
+
+TEST_F(FailureInjectionTest, PathDivergenceStaysConservativeUnderLoss) {
+  // The forbid-missing-in-LCS rule must reject gappy pairs rather than
+  // infer from them: candidates under loss are a subset-ish, never wilder.
+  const auto clean = run(0.0);
+  const auto lossy = run(0.5);
+  const auto& vantage = topo_.vantages()[0];
+  const auto res_clean = analysis::discover_by_path_div(clean, topo_, vantage);
+  const auto res_lossy = analysis::discover_by_path_div(lossy, topo_, vantage);
+  EXPECT_LT(res_lossy.pairs_divergent, res_clean.pairs_divergent);
+  // Every lossy candidate is still truth-consistent (lower bound holds).
+  for (const auto& cand : res_lossy.candidates) {
+    const auto truth = topo_.true_subnet(cand.target);
+    ASSERT_TRUE(truth);
+    EXPECT_LE(cand.min_prefix_len, 64u);
+  }
+}
+
+}  // namespace
+}  // namespace beholder6::simnet

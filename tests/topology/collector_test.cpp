@@ -1,0 +1,156 @@
+// Tests for TraceCollector: reassembly, metrics, EUI-64 reporting.
+#include "topology/collector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netbase/eui64.hpp"
+
+namespace beholder6::topology {
+namespace {
+
+wire::DecodedReply reply(const char* responder, const char* target,
+                         std::uint8_t ttl,
+                         wire::Icmp6Type type = wire::Icmp6Type::kTimeExceeded,
+                         std::uint8_t code = 0) {
+  wire::DecodedReply r;
+  r.responder = Ipv6Addr::must_parse(responder);
+  r.type = type;
+  r.code = code;
+  r.probe.target = Ipv6Addr::must_parse(target);
+  r.probe.ttl = ttl;
+  return r;
+}
+
+TEST(Collector, ReassemblesOutOfOrderReplies) {
+  TraceCollector c;
+  c.on_reply(reply("2001:db8:f::3", "2001:db8:1::1", 3));
+  c.on_reply(reply("2001:db8:f::1", "2001:db8:1::1", 1));
+  c.on_reply(reply("2001:db8:f::2", "2001:db8:1::1", 2));
+  ASSERT_EQ(c.traces().size(), 1u);
+  const auto& tr = c.traces().begin()->second;
+  const auto hops = tr.router_hops();
+  ASSERT_EQ(hops.size(), 3u);
+  EXPECT_EQ(hops[0].to_string(), "2001:db8:f::1");
+  EXPECT_EQ(hops[2].to_string(), "2001:db8:f::3");
+  EXPECT_EQ(tr.path_len(), 3);
+}
+
+TEST(Collector, InterleavedTargetsSeparate) {
+  TraceCollector c;
+  c.on_reply(reply("2001:db8:f::1", "2001:db8:1::1", 1));
+  c.on_reply(reply("2001:db8:f::9", "2001:db8:2::1", 1));
+  c.on_reply(reply("2001:db8:f::2", "2001:db8:1::1", 2));
+  EXPECT_EQ(c.traces().size(), 2u);
+  EXPECT_EQ(c.interfaces().size(), 3u);
+}
+
+TEST(Collector, FirstResponsePerTtlWins) {
+  TraceCollector c;
+  c.on_reply(reply("2001:db8:f::1", "2001:db8:1::1", 1));
+  c.on_reply(reply("2001:db8:f::ee", "2001:db8:1::1", 1));  // duplicate TTL
+  const auto& tr = c.traces().begin()->second;
+  EXPECT_EQ(tr.hops.at(1).iface.to_string(), "2001:db8:f::1");
+  EXPECT_EQ(c.interfaces().size(), 2u) << "both sources still counted";
+}
+
+TEST(Collector, ReachedDetection) {
+  TraceCollector c;
+  c.on_reply(reply("2001:db8:1::1", "2001:db8:1::1", 9, wire::Icmp6Type::kEchoReply));
+  c.on_reply(reply("2001:db8:f::1", "2001:db8:2::1", 1));
+  EXPECT_EQ(c.traces().at(Ipv6Addr::must_parse("2001:db8:1::1")).reached, true);
+  EXPECT_EQ(c.traces().at(Ipv6Addr::must_parse("2001:db8:2::1")).reached, false);
+  EXPECT_NEAR(c.reached_fraction(), 0.5, 1e-9);
+}
+
+TEST(Collector, NonTeResponsesCountedSeparately) {
+  TraceCollector c;
+  c.on_reply(reply("2001:db8:f::1", "2001:db8:1::1", 1));
+  c.on_reply(reply("2001:db8:f::2", "2001:db8:1::1", 9,
+                   wire::Icmp6Type::kDestUnreachable, 3));
+  EXPECT_EQ(c.te_responses(), 1u);
+  EXPECT_EQ(c.non_te_responses(), 1u);
+  // DU sources are responders but not "interface addresses".
+  EXPECT_EQ(c.interfaces().size(), 1u);
+  EXPECT_EQ(c.responders().size(), 2u);
+}
+
+TEST(Collector, PathLenPercentiles) {
+  TraceCollector c;
+  for (int t = 0; t < 10; ++t) {
+    const auto target = "2001:db8:" + std::to_string(t + 1) + "::1";
+    for (std::uint8_t ttl = 1; ttl <= t + 1; ++ttl)
+      c.on_reply(reply(("2001:db8:f::" + std::to_string(ttl)).c_str(),
+                       target.c_str(), ttl));
+  }
+  EXPECT_EQ(c.path_len_percentile(0.5), 6);
+  EXPECT_EQ(c.path_len_percentile(0.95), 10);
+  EXPECT_EQ(c.path_len_percentile(0.0), 1);
+}
+
+TEST(Collector, DiscoveryCurveIsMonotone) {
+  TraceCollector c;
+  for (int i = 0; i < 3000; ++i) {
+    const auto resp = Ipv6Addr::from_halves(0x20010db8000000ffULL, i % 500 + 1);
+    wire::DecodedReply r;
+    r.responder = resp;
+    r.type = wire::Icmp6Type::kTimeExceeded;
+    r.probe.target = Ipv6Addr::from_halves(0x20010db800000001ULL, i);
+    r.probe.ttl = 1;
+    c.on_reply(r, static_cast<std::uint64_t>(i) + 1);
+  }
+  const auto& curve = c.discovery_curve();
+  ASSERT_GT(curve.size(), 3u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GT(curve[i].probes, curve[i - 1].probes);
+    EXPECT_GE(curve[i].unique_interfaces, curve[i - 1].unique_interfaces);
+  }
+  EXPECT_LE(curve.back().unique_interfaces, 500u);
+}
+
+TEST(Collector, Eui64ReportCountsAndOffsets) {
+  TraceCollector c;
+  const Mac mac{{0xa4, 0x52, 0xf0, 1, 2, 3}};
+  const auto eui_iface = Ipv6Addr::from_halves(0x20010db800010001ULL, eui64_iid(mac));
+  // Trace 1: EUI hop at TTL 3 of a 3-hop path (offset 0).
+  c.on_reply(reply("2001:db8:f::1", "2001:db8:1::1", 1));
+  c.on_reply(reply("2001:db8:f::2", "2001:db8:1::1", 2));
+  {
+    wire::DecodedReply r;
+    r.responder = eui_iface;
+    r.type = wire::Icmp6Type::kTimeExceeded;
+    r.probe.target = Ipv6Addr::must_parse("2001:db8:1::1");
+    r.probe.ttl = 3;
+    c.on_reply(r);
+  }
+  const auto rep = c.eui64_report();
+  EXPECT_EQ(rep.eui64_interfaces, 1u);
+  EXPECT_NEAR(rep.frac_of_interfaces, 1.0 / 3.0, 1e-9);
+  EXPECT_EQ(rep.offset_median, 0);
+  EXPECT_EQ(rep.offset_p5, 0);
+}
+
+TEST(Collector, Eui64OffsetNegativeWhenMidPath) {
+  TraceCollector c;
+  const Mac mac{{0xa4, 0x52, 0xf0, 9, 9, 9}};
+  const auto eui_iface = Ipv6Addr::from_halves(0x20010db8000100aaULL, eui64_iid(mac));
+  wire::DecodedReply r;
+  r.responder = eui_iface;
+  r.type = wire::Icmp6Type::kTimeExceeded;
+  r.probe.target = Ipv6Addr::must_parse("2001:db8:1::1");
+  r.probe.ttl = 2;
+  c.on_reply(r);
+  c.on_reply(reply("2001:db8:f::5", "2001:db8:1::1", 5));
+  const auto rep = c.eui64_report();
+  EXPECT_EQ(rep.offset_median, -3);  // EUI hop at 2, path len 5
+}
+
+TEST(Collector, EmptyCollectorDefaults) {
+  TraceCollector c;
+  EXPECT_EQ(c.reached_fraction(), 0.0);
+  EXPECT_EQ(c.path_len_percentile(0.5), 0);
+  EXPECT_EQ(c.eui64_report().eui64_interfaces, 0u);
+  EXPECT_TRUE(c.discovery_curve().empty());
+}
+
+}  // namespace
+}  // namespace beholder6::topology

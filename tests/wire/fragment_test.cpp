@@ -1,0 +1,106 @@
+// Tests for the IPv6 Fragment header codec and fragmentation/reassembly.
+#include "wire/fragment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace beholder6::wire {
+namespace {
+
+std::vector<std::uint8_t> make_packet(std::size_t payload) {
+  std::vector<std::uint8_t> pkt;
+  Ipv6Header ip;
+  ip.next_header = static_cast<std::uint8_t>(Proto::kIcmp6);
+  ip.hop_limit = 64;
+  ip.src = Ipv6Addr::must_parse("2001:db8::1");
+  ip.dst = Ipv6Addr::must_parse("2001:db8::2");
+  ip.payload_length = static_cast<std::uint16_t>(payload);
+  ip.encode(pkt);
+  for (std::size_t i = 0; i < payload; ++i)
+    pkt.push_back(static_cast<std::uint8_t>(i));
+  return pkt;
+}
+
+TEST(FragmentHeaderCodec, RoundTrip) {
+  FragmentHeader h;
+  h.next_header = 58;
+  h.offset = 123;
+  h.more_fragments = true;
+  h.identification = 0xdeadbeef;
+  std::vector<std::uint8_t> buf;
+  h.encode(buf);
+  ASSERT_EQ(buf.size(), FragmentHeader::kSize);
+  const auto d = FragmentHeader::decode(buf);
+  ASSERT_TRUE(d);
+  EXPECT_EQ(d->next_header, 58);
+  EXPECT_EQ(d->offset, 123);
+  EXPECT_TRUE(d->more_fragments);
+  EXPECT_EQ(d->identification, 0xdeadbeefu);
+}
+
+TEST(Fragmentation, SmallPacketPassesThrough) {
+  const auto pkt = make_packet(100);
+  const auto frags = fragment_packet(pkt, 42);
+  ASSERT_EQ(frags.size(), 1u);
+  EXPECT_EQ(frags[0], pkt);
+  EXPECT_FALSE(fragment_of(frags[0]));
+}
+
+TEST(Fragmentation, BigPacketSplitsWithSharedId) {
+  const auto pkt = make_packet(2000);
+  const auto frags = fragment_packet(pkt, 777);
+  ASSERT_GE(frags.size(), 2u);
+  for (const auto& f : frags) {
+    EXPECT_LE(f.size(), kMinMtu);
+    const auto h = fragment_of(f);
+    ASSERT_TRUE(h);
+    EXPECT_EQ(h->identification, 777u);
+    EXPECT_EQ(h->next_header, 58);
+  }
+  // Exactly the last fragment has more_fragments == false.
+  for (std::size_t i = 0; i < frags.size(); ++i)
+    EXPECT_EQ(fragment_of(frags[i])->more_fragments, i + 1 < frags.size());
+  // All non-final fragment payloads are multiples of 8 octets.
+  for (std::size_t i = 0; i + 1 < frags.size(); ++i)
+    EXPECT_EQ((frags[i].size() - Ipv6Header::kSize - FragmentHeader::kSize) % 8, 0u);
+}
+
+TEST(Fragmentation, ReassemblyRestoresOriginal) {
+  const auto pkt = make_packet(3000);
+  auto frags = fragment_packet(pkt, 9);
+  // Shuffle to prove order-independence.
+  std::rotate(frags.begin(), frags.begin() + 1, frags.end());
+  const auto whole = reassemble(frags);
+  ASSERT_TRUE(whole);
+  EXPECT_EQ(*whole, pkt);
+}
+
+TEST(Fragmentation, ReassemblyRejectsGapsAndMixedIds) {
+  const auto pkt = make_packet(3000);
+  auto frags = fragment_packet(pkt, 9);
+  ASSERT_GE(frags.size(), 3u);
+  {
+    auto missing = frags;
+    missing.erase(missing.begin() + 1);
+    EXPECT_FALSE(reassemble(missing));
+  }
+  {
+    auto mixed = frags;
+    auto other = fragment_packet(pkt, 10);
+    mixed[1] = other[1];
+    EXPECT_FALSE(reassemble(mixed));
+  }
+  EXPECT_FALSE(reassemble({}));
+}
+
+TEST(Fragmentation, ParametrizedSizesRoundTrip) {
+  for (std::size_t payload : {1241u, 1500u, 2459u, 4096u, 9000u}) {
+    const auto pkt = make_packet(payload);
+    const auto frags = fragment_packet(pkt, 5);
+    const auto whole = reassemble(frags);
+    ASSERT_TRUE(whole) << payload;
+    EXPECT_EQ(*whole, pkt) << payload;
+  }
+}
+
+}  // namespace
+}  // namespace beholder6::wire
