@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "campaign/runner.hpp"
 #include "prober/yarrp6.hpp"
 #include "seeds/sources.hpp"
 #include "simnet/network.hpp"
@@ -65,10 +66,20 @@ struct Campaign {
   prober::ProbeStats probe_stats;
   simnet::NetworkStats net_stats;
   topology::TraceCollector collector;
+
+  /// Accumulate another campaign's counters (cross-campaign report rows).
+  /// Collector state is deliberately not merged — use a shared reply sink
+  /// when merged topology is wanted.
+  Campaign& operator+=(const Campaign& o) {
+    probe_stats += o.probe_stats;
+    net_stats += o.net_stats;
+    return *this;
+  }
 };
 
-/// Run one yarrp6 campaign from a vantage against `targets`. The discovery
-/// curve is indexed by probes actually injected.
+/// Run one yarrp6 campaign from a vantage against `targets` through the
+/// campaign engine. The discovery curve is indexed by probes actually
+/// injected.
 inline Campaign run_yarrp(const simnet::Topology& topo,
                           const simnet::VantageInfo& vantage,
                           const std::vector<Ipv6Addr>& targets,
@@ -77,10 +88,11 @@ inline Campaign run_yarrp(const simnet::Topology& topo,
   Campaign campaign;
   cfg.src = vantage.src;
   simnet::Network net{topo, np};
-  prober::Yarrp6Prober prober{cfg};
-  campaign.probe_stats = prober.run(net, targets, [&](const wire::DecodedReply& r) {
-    campaign.collector.on_reply(r, net.stats().probes);
-  });
+  prober::Yarrp6Source source{cfg, targets};
+  campaign.probe_stats = campaign::CampaignRunner::run_one(
+      net, source, cfg.endpoint(), cfg.pacing(), [&](const wire::DecodedReply& r) {
+        campaign.collector.on_reply(r, net.stats().probes);
+      });
   campaign.net_stats = net.stats();
   return campaign;
 }

@@ -4,9 +4,11 @@
 // the achievable virtual probing rate (the real yarrp runs at >100kpps).
 #include <benchmark/benchmark.h>
 
+#include "campaign/runner.hpp"
 #include "netbase/checksum.hpp"
 #include "netbase/permutation.hpp"
 #include "netbase/radix_trie.hpp"
+#include "prober/yarrp6.hpp"
 #include "simnet/network.hpp"
 #include "wire/probe.hpp"
 
@@ -102,6 +104,59 @@ void BM_EndToEndProbe(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_EndToEndProbe);
+
+void BM_EndToEndProbeBatch(benchmark::State& state) {
+  // The batched-injection hook: same per-probe semantics as BM_EndToEndProbe,
+  // amortizing the call overhead across a line-rate burst.
+  static simnet::Topology topo{simnet::TopologyParams{}};
+  simnet::NetworkParams np;
+  np.unlimited = true;
+  simnet::Network net{topo, np};
+  wire::ProbeSpec spec;
+  spec.src = topo.vantages()[0].src;
+  std::uint64_t x = 3;
+  std::vector<simnet::Packet> burst;
+  for (int i = 0; i < 64; ++i) {
+    x = splitmix64(x);
+    const auto& as = topo.ases()[x % topo.ases().size()];
+    spec.target = Ipv6Addr::from_halves(as.prefixes[0].base().hi() | (x & 0xffffff), 1);
+    spec.ttl = 1 + static_cast<std::uint8_t>(x % 16);
+    burst.push_back(wire::encode_probe(spec));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.inject_batch(burst));
+    net.advance_us(64);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_EndToEndProbeBatch);
+
+void BM_CampaignEngine(benchmark::State& state) {
+  // Full engine cycle: permutation walk -> encode -> inject -> decode ->
+  // dispatch -> reschedule; bounds the virtual probing rate of the stack.
+  static simnet::Topology topo{simnet::TopologyParams{}};
+  simnet::NetworkParams np;
+  np.unlimited = true;
+  std::vector<Ipv6Addr> targets;
+  for (const auto& as : topo.ases()) {
+    for (const auto& s : topo.enumerate_subnets(as, 4))
+      targets.push_back(s.base() | Ipv6Addr::from_halves(0, 1));
+    if (targets.size() >= 64) break;
+  }
+  prober::Yarrp6Config cfg;
+  cfg.src = topo.vantages()[0].src;
+  cfg.pps = 1e6;
+  cfg.max_ttl = 8;
+  for (auto _ : state) {
+    simnet::Network net{topo, np};
+    prober::Yarrp6Source source{cfg, targets};
+    benchmark::DoNotOptimize(campaign::CampaignRunner::run_one(
+        net, source, cfg.endpoint(), cfg.pacing()));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(targets.size() * cfg.max_ttl));
+}
+BENCHMARK(BM_CampaignEngine);
 
 }  // namespace
 

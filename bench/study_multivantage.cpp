@@ -68,6 +68,22 @@ int main() {
                 hop1(res.collector));
   }
   {
+    // Interleaved: the same sharded campaign, but all vantages share the
+    // event queue and probe concurrently in virtual time — the whole
+    // campaign completes in a third of the virtual wall clock, at 3x the
+    // aggregate instantaneous rate.
+    simnet::Network net{world.topo, simnet::NetworkParams{}};
+    const auto res = prober::run_multi_vantage(net, world.topo.vantages(), targets,
+                                               cfg, {.interleave = true});
+    std::printf("%-26s %10s %12zu %10s %9.0f%%   (%.0fs virtual vs %.0fs sequential)\n",
+                "sharded interleaved (3v)",
+                bench::human(static_cast<double>(res.total_probes())).c_str(),
+                res.collector.interfaces().size(),
+                bench::human(static_cast<double>(net.stats().rate_limited)).c_str(),
+                hop1(res.collector), static_cast<double>(net.now_us()) / 1e6,
+                static_cast<double>(res.total_probes()) / cfg.pps);
+  }
+  {
     // Union campaign: each vantage probes the full (target, ttl) space.
     simnet::Network net{world.topo, simnet::NetworkParams{}};
     topology::TraceCollector c;

@@ -22,7 +22,7 @@ namespace {
 /// from that scope, so we pool raw samples rather than collector objects.
 struct CampaignRow {
   std::string name;
-  std::uint64_t traces = 0;
+  prober::ProbeStats stats;  // pooled via ProbeStats::operator+=
   std::set<Ipv6Addr> targets;
   std::set<Ipv6Addr> interfaces;
   std::set<Prefix> bgp;
@@ -106,13 +106,13 @@ int main(int argc, char** argv) {
 
       auto& vrow = by_vantage[vantage.name];
       vrow.name = vantage.name;
-      vrow.traces += c.probe_stats.traces;
+      vrow.stats += c.probe_stats;
       vrow.targets.insert(ns.set.addrs.begin(), ns.set.addrs.end());
       accumulate(vrow, c.collector, world.topo);
-      all.traces += c.probe_stats.traces;
+      all.stats += c.probe_stats;
       all.targets.insert(ns.set.addrs.begin(), ns.set.addrs.end());
       accumulate(all, c.collector, world.topo);
-      row.traces += c.probe_stats.traces;
+      row.stats += c.probe_stats;
       // Vantage-0 campaigns supply the per-set behavioural metrics, as a
       // single consistent perspective (the paper reports per-set rows from
       // merged campaigns; orderings are unaffected).
@@ -166,7 +166,7 @@ int main(int argc, char** argv) {
                              : static_cast<double>(r.eui_ifaces.size()) /
                                    static_cast<double>(r.interfaces.size());
     std::printf("%-14s %8s %8s %8s %7s %6s %6s %5.0f%% %4d(%2d) %7s %3.0f%% %6d(%d)\n",
-                r.name.c_str(), h(static_cast<double>(r.traces)).c_str(),
+                r.name.c_str(), h(static_cast<double>(r.stats.traces)).c_str(),
                 h(static_cast<double>(r.targets.size())).c_str(),
                 h(static_cast<double>(r.interfaces.size())).c_str(),
                 with_excl ? h(static_cast<double>(excl)).c_str() : "-",

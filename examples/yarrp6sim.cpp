@@ -11,6 +11,7 @@
 #include <fstream>
 #include <string>
 
+#include "campaign/runner.hpp"
 #include "io/trace_io.hpp"
 #include "prober/yarrp6.hpp"
 #include "seeds/sources.hpp"
@@ -113,8 +114,9 @@ int main(int argc, char** argv) {
   if (out) writer.emplace(*out);
 
   topology::TraceCollector collector;
-  const auto stats = prober::Yarrp6Prober{cfg}.run(
-      net, targets.addrs, [&](const wire::DecodedReply& r) {
+  prober::Yarrp6Source source{cfg, targets.addrs};
+  const auto stats = campaign::CampaignRunner::run_one(
+      net, source, cfg.endpoint(), cfg.pacing(), [&](const wire::DecodedReply& r) {
         collector.on_reply(r);
         if (writer) writer->write(io::TraceRecord::from_reply(r));
       });

@@ -1,0 +1,132 @@
+// campaign/probe_source.hpp — the pull-based prober API.
+//
+// The paper's §4.2 experiments isolate exactly two variables: probe *order*
+// and clock *pacing*. This layer factors the prober accordingly. A
+// ProbeSource owns only the order (and any feedback-driven state such as
+// yarrp6 fill chains or Doubletree stop sets); the CampaignRunner owns
+// everything else — pacing, virtual-clock advancement, encode/inject,
+// reply decode and dispatch, per-campaign statistics, and the event-driven
+// interleaving of many sources over one simnet::Network.
+//
+// The protocol: the runner polls next() whenever the source's virtual send
+// slot comes due. The source answers with a probe, a round boundary (bursty
+// sources only — it tells the pacer to idle out the rest of the round's
+// rate budget), or exhaustion. After injecting a probe the runner feeds
+// every decoded reply to on_reply() and then calls on_probe_done(), so a
+// source can steer its future order from what came back — which is all a
+// stateful prober fundamentally is.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "netbase/ipv6.hpp"
+#include "wire/probe.hpp"
+
+namespace beholder6::campaign {
+
+/// Called for every decoded reply, in arrival order.
+using ResponseSink = std::function<void(const wire::DecodedReply&)>;
+
+/// What a probing campaign reports about itself.
+struct ProbeStats {
+  std::uint64_t probes_sent = 0;
+  std::uint64_t replies = 0;
+  std::uint64_t fills = 0;               // yarrp6 fill-mode probes
+  std::uint64_t neighborhood_skips = 0;  // yarrp6 neighborhood-mode skips
+  std::uint64_t traces = 0;              // number of distinct targets probed
+  std::uint64_t elapsed_virtual_us = 0;
+
+  ProbeStats& operator+=(const ProbeStats& o) {
+    probes_sent += o.probes_sent;
+    replies += o.replies;
+    fills += o.fills;
+    neighborhood_skips += o.neighborhood_skips;
+    traces += o.traces;
+    elapsed_virtual_us += o.elapsed_virtual_us;
+    return *this;
+  }
+  friend bool operator==(const ProbeStats&, const ProbeStats&) = default;
+};
+
+/// One probe the runner should emit next.
+struct Probe {
+  Ipv6Addr target;
+  std::uint8_t ttl = 0;
+  bool fill = false;  // counts toward ProbeStats::fills
+};
+
+/// Result of polling a source.
+struct Poll {
+  enum class Status : std::uint8_t {
+    kProbe,      // `probe` is valid
+    kRoundEnd,   // bursty source finished a lockstep round: idle out budget
+    kExhausted,  // nothing left; the source will not be polled again
+  };
+  Status status = Status::kExhausted;
+  Probe probe;
+
+  static Poll emit(const Probe& p) { return {Status::kProbe, p}; }
+  static Poll round_end() { return {Status::kRoundEnd, {}}; }
+  static Poll exhausted() { return {Status::kExhausted, {}}; }
+};
+
+/// The per-source wire identity: which vantage the probes leave from, with
+/// what transport, tagged with which instance id (replies are filtered on
+/// it, so campaigns can share one network without cross-talk).
+struct Endpoint {
+  Ipv6Addr src;
+  wire::Proto proto = wire::Proto::kIcmp6;
+  std::uint8_t instance = 1;
+};
+
+/// How the runner advances the virtual clock around a source's probes.
+struct PacingPolicy {
+  enum class Kind : std::uint8_t {
+    kUniform,  // every probe is followed by a 1e6/pps gap (yarrp6)
+    kBurst,    // in-round probes at line rate; idle to pps at round end
+  };
+  Kind kind = Kind::kUniform;
+  double pps = 1000.0;
+  std::uint64_t line_rate_gap_us = 1;  // kBurst only
+
+  static PacingPolicy uniform(double pps) {
+    return {Kind::kUniform, pps, 0};
+  }
+  static PacingPolicy burst(double pps, std::uint64_t line_rate_gap_us) {
+    return {Kind::kBurst, pps, line_rate_gap_us};
+  }
+};
+
+/// A pull-based probe generator. Implementations must be deterministic:
+/// identical construction + identical feedback ⇒ identical probe sequence.
+class ProbeSource {
+ public:
+  virtual ~ProbeSource() = default;
+
+  /// Called once, at the source's campaign start time, before any poll.
+  virtual void begin(std::uint64_t now_us) { (void)now_us; }
+
+  /// Pull the next event. `now_us` is the virtual time of the send slot.
+  virtual Poll next(std::uint64_t now_us) = 0;
+
+  /// One decoded, instance-filtered reply to the most recent probe. Called
+  /// before the clock advances past the send slot.
+  virtual void on_reply(const Probe& probe, const wire::DecodedReply& reply,
+                        std::uint64_t now_us) {
+    (void)probe, (void)reply, (void)now_us;
+  }
+
+  /// The most recent probe's replies have all been delivered; `answered`
+  /// says whether there was at least one.
+  virtual void on_probe_done(const Probe& probe, bool answered,
+                             std::uint64_t now_us) {
+    (void)probe, (void)answered, (void)now_us;
+  }
+
+  /// Merge source-private counters (trace counts, skip counters) into the
+  /// campaign stats once the source is exhausted.
+  virtual void finish(ProbeStats& stats) const { (void)stats; }
+};
+
+}  // namespace beholder6::campaign

@@ -1,0 +1,99 @@
+#include "campaign/runner.hpp"
+
+namespace beholder6::campaign {
+
+std::size_t CampaignRunner::add(ProbeSource& source, const Endpoint& endpoint,
+                                const PacingPolicy& pacing, ResponseSink sink) {
+  Member m;
+  m.source = &source;
+  m.endpoint = endpoint;
+  m.pacing = pacing;
+  m.sink = std::move(sink);
+  // Same arithmetic as the classic prober loops: the per-probe gap is
+  // computed once, in integer microseconds.
+  m.gap_us = static_cast<std::uint64_t>(1e6 / (pacing.pps > 0 ? pacing.pps : 1.0));
+  m.due_us = net_.now_us();  // first send slot: immediately
+  members_.push_back(std::move(m));
+  stats_.emplace_back();
+  schedule(members_.size() - 1);
+  return members_.size() - 1;
+}
+
+void CampaignRunner::schedule(std::size_t idx) {
+  queue_.push(Slot{members_[idx].due_us, seq_++, idx});
+}
+
+void CampaignRunner::emit(Member& m, ProbeStats& stats, const Probe& probe) {
+  ++stats.probes_sent;
+  if (probe.fill) ++stats.fills;
+  const bool answered = inject_probe(
+      net_, m.endpoint, probe.target, probe.ttl, [&](const wire::DecodedReply& dec) {
+        ++stats.replies;
+        if (m.sink) m.sink(dec);
+        m.source->on_reply(probe, dec, net_.now_us());
+      });
+  m.source->on_probe_done(probe, answered, net_.now_us());
+}
+
+bool CampaignRunner::step() {
+  if (queue_.empty()) return false;
+  const auto slot = queue_.top();
+  queue_.pop();
+  auto& m = members_[slot.member];
+  auto& stats = stats_[slot.member];
+  if (slot.due_us > net_.now_us()) net_.advance_us(slot.due_us - net_.now_us());
+  if (!m.begun) {
+    m.begun = true;
+    m.start_us = net_.now_us();
+    m.source->begin(net_.now_us());
+  }
+
+  const auto poll = m.source->next(net_.now_us());
+  switch (poll.status) {
+    case Poll::Status::kProbe:
+      emit(m, stats, poll.probe);
+      if (m.pacing.kind == PacingPolicy::Kind::kUniform) {
+        m.due_us += m.gap_us;
+      } else {
+        ++m.round_sent;
+        m.due_us += m.pacing.line_rate_gap_us;
+      }
+      schedule(slot.member);
+      break;
+
+    case Poll::Status::kRoundEnd: {
+      // Idle out the rest of the round so the average rate stays at pps —
+      // the same arithmetic as the lockstep probers' round budget.
+      const auto budget_us = static_cast<std::uint64_t>(
+          static_cast<double>(m.round_sent) * 1e6 /
+          (m.pacing.pps > 0 ? m.pacing.pps : 1.0));
+      const auto spent_us = m.round_sent * m.pacing.line_rate_gap_us;
+      if (budget_us > spent_us) m.due_us += budget_us - spent_us;
+      m.round_sent = 0;
+      schedule(slot.member);
+      break;
+    }
+
+    case Poll::Status::kExhausted:
+      stats.elapsed_virtual_us = net_.now_us() - m.start_us;
+      m.source->finish(stats);
+      break;
+  }
+  return true;
+}
+
+std::vector<ProbeStats> CampaignRunner::run() {
+  while (step()) {
+  }
+  return stats_;
+}
+
+ProbeStats CampaignRunner::run_one(simnet::Network& net, ProbeSource& source,
+                                   const Endpoint& endpoint,
+                                   const PacingPolicy& pacing, ResponseSink sink) {
+  CampaignRunner runner{net};
+  runner.add(source, endpoint, pacing, std::move(sink));
+  return runner.run()[0];
+}
+
+}  // namespace beholder6::campaign

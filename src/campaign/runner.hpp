@@ -1,0 +1,120 @@
+// campaign/runner.hpp — the event-driven scheduling core.
+//
+// One CampaignRunner drives any number of ProbeSources over one
+// simnet::Network. Each source is an event stream: the runner keeps a
+// min-heap of (due virtual time, sequence) send slots, pops the earliest,
+// advances the shared virtual clock to it, polls the owning source, emits
+// the probe (encode → inject → decode → dispatch) and reschedules the
+// source per its pacing policy. With one source this reduces exactly to
+// the classic prober loop (probe, advance, probe, ...); with several it
+// interleaves them in virtual time, which is what makes multi-vantage and
+// mixed-protocol campaigns first-class scenarios rather than per-prober
+// reimplementations.
+//
+// The runner owns the per-campaign ProbeStats: probes sent, fills, replies
+// (instance-filtered), elapsed virtual time; sources contribute their
+// private counters via ProbeSource::finish().
+//
+// Determinism: everything is a pure function of (sources, endpoints,
+// pacing, network). Ties in the heap resolve by schedule order, so equal
+// -pps sources interleave round-robin in add() order.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "campaign/probe_source.hpp"
+#include "simnet/network.hpp"
+
+namespace beholder6::campaign {
+
+/// The one injection contract every campaign path shares: encode the probe
+/// at the current virtual time, inject it, decode each reply and filter on
+/// the endpoint's instance id, handing survivors to `on_reply`. Returns
+/// true if at least one reply passed the filter. Templated on the callback
+/// so hot paths pay no std::function construction per probe.
+template <typename ReplyFn>
+bool inject_probe(simnet::Network& net, const Endpoint& endpoint,
+                  const Ipv6Addr& target, std::uint8_t ttl, ReplyFn&& on_reply) {
+  wire::ProbeSpec spec;
+  spec.src = endpoint.src;
+  spec.target = target;
+  spec.proto = endpoint.proto;
+  spec.ttl = ttl;
+  spec.elapsed_us = static_cast<std::uint32_t>(net.now_us());
+  spec.instance = endpoint.instance;
+  const auto replies = net.inject(wire::encode_probe(spec));
+  bool answered = false;
+  for (const auto& r : replies) {
+    const auto dec = wire::decode_reply(r, static_cast<std::uint32_t>(net.now_us()));
+    if (!dec || dec->probe.instance != endpoint.instance) continue;
+    answered = true;
+    on_reply(*dec);
+  }
+  return answered;
+}
+
+class CampaignRunner {
+ public:
+  explicit CampaignRunner(simnet::Network& net) : net_(net) {}
+
+  /// Register a source. The source (and sink) must outlive the runner. The
+  /// returned index identifies the source's ProbeStats in run()'s result.
+  std::size_t add(ProbeSource& source, const Endpoint& endpoint,
+                  const PacingPolicy& pacing, ResponseSink sink = {});
+
+  /// Drive every registered source to exhaustion; returns per-source stats
+  /// (parallel to add() order). May be called after step() to finish a
+  /// partially run campaign.
+  std::vector<ProbeStats> run();
+
+  /// Process exactly one due event (one probe, round boundary, or source
+  /// retirement). Returns false when every source is exhausted. Campaigns
+  /// are pausable/resumable at any step boundary.
+  bool step();
+
+  /// True when every registered source has been driven to exhaustion.
+  [[nodiscard]] bool done() const { return queue_.empty(); }
+
+  /// Stats so far (complete only for exhausted sources' private counters).
+  [[nodiscard]] const std::vector<ProbeStats>& stats() const { return stats_; }
+
+  /// Convenience: run a single source on `net` and return its stats.
+  static ProbeStats run_one(simnet::Network& net, ProbeSource& source,
+                            const Endpoint& endpoint, const PacingPolicy& pacing,
+                            ResponseSink sink = {});
+
+ private:
+  struct Member {
+    ProbeSource* source = nullptr;
+    Endpoint endpoint;
+    PacingPolicy pacing;
+    ResponseSink sink;
+    std::uint64_t gap_us = 0;        // uniform pacing: per-probe gap
+    std::uint64_t due_us = 0;        // next send slot
+    std::uint64_t start_us = 0;
+    std::uint64_t round_sent = 0;    // burst pacing: probes this round
+    bool begun = false;
+  };
+
+  struct Slot {
+    std::uint64_t due_us;
+    std::uint64_t seq;
+    std::size_t member;
+    bool operator>(const Slot& o) const {
+      return due_us != o.due_us ? due_us > o.due_us : seq > o.seq;
+    }
+  };
+
+  void schedule(std::size_t idx);
+  void emit(Member& m, ProbeStats& stats, const Probe& probe);
+
+  simnet::Network& net_;
+  std::vector<Member> members_;
+  std::vector<ProbeStats> stats_;
+  std::priority_queue<Slot, std::vector<Slot>, std::greater<Slot>> queue_;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace beholder6::campaign

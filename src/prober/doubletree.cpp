@@ -2,99 +2,128 @@
 
 #include <algorithm>
 
+#include "campaign/runner.hpp"
+
 namespace beholder6::prober {
 
-ProbeStats DoubletreeProber::run(simnet::Network& net,
-                                 const std::vector<Ipv6Addr>& targets,
-                                 const ResponseSink& sink) {
-  ProbeStats stats;
-  stats.traces = targets.size();
-  const std::uint64_t start = net.now_us();
-  const double pps = cfg_.pps > 0 ? cfg_.pps : 1.0;
-  const std::size_t window =
-      cfg_.window ? cfg_.window
-                  : std::max<std::size_t>(1, static_cast<std::size_t>(pps * 0.05));
+void DoubletreeSource::begin(std::uint64_t) {
+  window_ = cfg_.effective_window();
+  base_ = 0;
+  start_window();
+}
 
-  enum class Phase : std::uint8_t { kForward, kBackward, kDone };
-  struct TraceState {
-    Phase phase = Phase::kForward;
-    std::uint8_t fwd_ttl = 0;
-    std::uint8_t bwd_ttl = 0;
-    std::uint8_t gaps = 0;
-  };
+void DoubletreeSource::start_window() {
+  if (base_ >= targets_.size()) {
+    exhausted_ = true;
+    return;
+  }
+  count_ = std::min(window_, targets_.size() - base_);
+  state_.assign(count_, {});
+  for (auto& s : state_) {
+    s.fwd_ttl = cfg_.start_ttl;
+    s.bwd_ttl = cfg_.start_ttl > 1 ? static_cast<std::uint8_t>(cfg_.start_ttl - 1) : 0;
+  }
+  idx_ = 0;
+  step_ = Step::kForward;
+  progress_ = false;
+}
 
-  for (std::size_t base = 0; base < targets.size(); base += window) {
-    const std::size_t n = std::min(window, targets.size() - base);
-    std::vector<TraceState> state(n);
-    for (auto& s : state) {
-      s.fwd_ttl = cfg_.start_ttl;
-      s.bwd_ttl = cfg_.start_ttl > 1 ? static_cast<std::uint8_t>(cfg_.start_ttl - 1) : 0;
+campaign::Poll DoubletreeSource::next(std::uint64_t) {
+  while (!exhausted_) {
+    if (idx_ == count_) {
+      // Round complete. Keep going while some trace made progress; the
+      // RoundEnd lets the pacer idle out the burst's rate budget either way.
+      if (progress_) {
+        idx_ = 0;
+        step_ = Step::kForward;
+        progress_ = false;
+      } else {
+        base_ += window_;
+        start_window();
+      }
+      return campaign::Poll::round_end();
     }
-    bool progress = true;
-    while (progress) {
-      progress = false;
-      std::size_t sent_in_round = 0;
-      for (std::size_t i = 0; i < n; ++i) {
-        auto& s = state[i];
-        const auto& target = targets[base + i];
+    auto& s = state_[idx_];
+    switch (step_) {
+      case Step::kForward:
+        step_ = Step::kBackward;
         if (s.phase == Phase::kForward) {
           if (s.fwd_ttl > cfg_.max_ttl) {
             s.phase = Phase::kBackward;
           } else {
-            bool terminal = false;
-            auto wrapped = [&](const wire::DecodedReply& rep) {
-              ++stats.replies;
-              terminal = rep.type != wire::Icmp6Type::kTimeExceeded ||
-                         rep.responder == target;
-              stop_set_.insert(rep.responder);
-              if (sink) sink(rep);
-            };
-            ++stats.probes_sent;
-            ++sent_in_round;
-            const bool answered = send_probe(net, cfg_, target, s.fwd_ttl, wrapped);
-            net.advance_us(cfg_.line_rate_gap_us);
-            progress = true;
-            ++s.fwd_ttl;
-            if (terminal || (!answered && ++s.gaps >= cfg_.gap_limit)) {
-              s.phase = Phase::kBackward;
-              s.gaps = 0;
-            }
-            if (answered) s.gaps = 0;
+            fwd_in_flight_ = true;
+            terminal_ = false;
+            progress_ = true;
+            return campaign::Poll::emit({targets_[base_ + idx_], s.fwd_ttl, false});
           }
         }
-        if (s.phase == Phase::kBackward) {
-          if (s.bwd_ttl == 0) {
-            s.phase = Phase::kDone;
-            continue;
-          }
-          bool hit_stop_set = false;
-          auto wrapped = [&](const wire::DecodedReply& rep) {
-            ++stats.replies;
-            // Stop when the responder is already known: the rest of the
-            // backward path was seen by an earlier trace. A rate-limited
-            // (silent) hop never triggers this — the pathology the paper
-            // observed: Doubletree keeps draining the very buckets that
-            // are already empty.
-            hit_stop_set = !stop_set_.insert(rep.responder).second;
-            if (sink) sink(rep);
-          };
-          ++stats.probes_sent;
-          ++sent_in_round;
-          send_probe(net, cfg_, target, s.bwd_ttl, wrapped);
-          net.advance_us(cfg_.line_rate_gap_us);
-          progress = true;
-          --s.bwd_ttl;
-          if (hit_stop_set) s.phase = Phase::kDone;
+        break;
+
+      case Step::kBackward:
+        // The same round iteration may probe backward right after the
+        // forward step flipped the phase — Doubletree wastes no rounds.
+        if (s.phase == Phase::kBackward && s.bwd_ttl > 0) {
+          step_ = Step::kAdvance;
+          fwd_in_flight_ = false;
+          hit_stop_set_ = false;
+          progress_ = true;
+          return campaign::Poll::emit({targets_[base_ + idx_], s.bwd_ttl, false});
         }
-      }
-      const auto budget_us =
-          static_cast<std::uint64_t>(static_cast<double>(sent_in_round) * 1e6 / pps);
-      const auto spent_us = sent_in_round * cfg_.line_rate_gap_us;
-      if (budget_us > spent_us) net.advance_us(budget_us - spent_us);
+        if (s.phase == Phase::kBackward) s.phase = Phase::kDone;  // bwd_ttl == 0
+        step_ = Step::kForward;
+        ++idx_;
+        break;
+
+      case Step::kAdvance:
+        step_ = Step::kForward;
+        ++idx_;
+        break;
     }
   }
-  stats.elapsed_virtual_us = net.now_us() - start;
-  return stats;
+  return campaign::Poll::exhausted();
+}
+
+void DoubletreeSource::on_reply(const campaign::Probe&,
+                                const wire::DecodedReply& reply, std::uint64_t) {
+  if (fwd_in_flight_) {
+    terminal_ = reply.type != wire::Icmp6Type::kTimeExceeded ||
+                reply.responder == targets_[base_ + idx_];
+    stop_set_.insert(reply.responder);
+  } else {
+    // Stop when the responder is already known: the rest of the backward
+    // path was seen by an earlier trace. A rate-limited (silent) hop never
+    // triggers this — the pathology the paper observed: Doubletree keeps
+    // draining the very buckets that are already empty.
+    hit_stop_set_ = !stop_set_.insert(reply.responder).second;
+  }
+}
+
+void DoubletreeSource::on_probe_done(const campaign::Probe&, bool answered,
+                                     std::uint64_t) {
+  auto& s = state_[idx_];
+  if (fwd_in_flight_) {
+    ++s.fwd_ttl;
+    if (terminal_ || (!answered && ++s.gaps >= cfg_.gap_limit)) {
+      s.phase = Phase::kBackward;
+      s.gaps = 0;
+    }
+    if (answered) s.gaps = 0;
+  } else {
+    --s.bwd_ttl;
+    if (hit_stop_set_) s.phase = Phase::kDone;
+  }
+}
+
+void DoubletreeSource::finish(campaign::ProbeStats& stats) const {
+  stats.traces = targets_.size();
+}
+
+ProbeStats DoubletreeProber::run(simnet::Network& net,
+                                 const std::vector<Ipv6Addr>& targets,
+                                 const ResponseSink& sink) {
+  DoubletreeSource source{cfg_, targets, stop_set_};
+  return campaign::CampaignRunner::run_one(net, source, cfg_.endpoint(),
+                                           cfg_.pacing(), sink);
 }
 
 }  // namespace beholder6::prober

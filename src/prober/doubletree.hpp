@@ -13,24 +13,78 @@
 // never recover. Doubletree also needs h0 tuned per vantage, and its
 // stop-set inference can graft stale path segments — both discussed as
 // fundamental limitations in the paper.
+//
+// DoubletreeSource emits the lockstep forward/backward order through the
+// pull API (burst pacing, like the sequential prober); DoubletreeProber is
+// the legacy one-campaign shim and keeps the cross-campaign stop set.
 #pragma once
 
+#include <span>
 #include <unordered_set>
+#include <vector>
 
+#include "campaign/probe_source.hpp"
 #include "prober/prober.hpp"
 
 namespace beholder6::prober {
 
-struct DoubletreeConfig : ProbeConfig {
+struct DoubletreeConfig : LockstepConfig {
   std::uint8_t start_ttl = 6;   // h0: heuristic, per-vantage (paper's gripe)
-  std::uint8_t gap_limit = 5;
-  std::size_t window = 0;       // lockstep window, as in SequentialProber
-  std::uint64_t line_rate_gap_us = 1;
 };
 
+/// Shared stop-set type: interfaces already observed by some trace.
+using StopSet = std::unordered_set<Ipv6Addr, Ipv6AddrHash>;
+
+/// Pull-based Doubletree order. The stop set is held by reference so it
+/// can outlive one campaign (and be shared between cooperating sources —
+/// Doubletree's original distributed-monitor design).
+class DoubletreeSource final : public campaign::ProbeSource {
+ public:
+  DoubletreeSource(const DoubletreeConfig& cfg, std::span<const Ipv6Addr> targets,
+                   StopSet& stop_set)
+      : cfg_(cfg), targets_(targets), stop_set_(stop_set) {}
+
+  void begin(std::uint64_t now_us) override;
+  campaign::Poll next(std::uint64_t now_us) override;
+  void on_reply(const campaign::Probe& probe, const wire::DecodedReply& reply,
+                std::uint64_t now_us) override;
+  void on_probe_done(const campaign::Probe& probe, bool answered,
+                     std::uint64_t now_us) override;
+  void finish(campaign::ProbeStats& stats) const override;
+
+ private:
+  enum class Phase : std::uint8_t { kForward, kBackward, kDone };
+  struct TraceState {
+    Phase phase = Phase::kForward;
+    std::uint8_t fwd_ttl = 0;
+    std::uint8_t bwd_ttl = 0;
+    std::uint8_t gaps = 0;
+  };
+  // Which step of trace idx_ the next poll considers.
+  enum class Step : std::uint8_t { kForward, kBackward, kAdvance };
+
+  void start_window();
+
+  DoubletreeConfig cfg_;
+  std::span<const Ipv6Addr> targets_;
+  StopSet& stop_set_;
+  std::size_t window_ = 1;
+  std::size_t base_ = 0;
+  std::size_t count_ = 0;
+  std::vector<TraceState> state_;
+  std::size_t idx_ = 0;
+  Step step_ = Step::kForward;
+  bool progress_ = false;       // some probe went out this round
+  bool fwd_in_flight_ = false;  // direction of the probe in flight
+  bool terminal_ = false;
+  bool hit_stop_set_ = false;
+  bool exhausted_ = false;
+};
+
+/// Legacy facade preserving the old run() signature and exact behaviour.
 class DoubletreeProber {
  public:
-  explicit DoubletreeProber(DoubletreeConfig cfg) : cfg_(cfg) {}
+  explicit DoubletreeProber(const DoubletreeConfig& cfg) : cfg_(cfg) {}
 
   ProbeStats run(simnet::Network& net, const std::vector<Ipv6Addr>& targets,
                  const ResponseSink& sink);
@@ -40,7 +94,7 @@ class DoubletreeProber {
 
  private:
   DoubletreeConfig cfg_;
-  std::unordered_set<Ipv6Addr, Ipv6AddrHash> stop_set_;
+  StopSet stop_set_;
 };
 
 }  // namespace beholder6::prober

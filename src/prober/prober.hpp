@@ -1,16 +1,20 @@
 // prober/prober.hpp — common prober vocabulary.
 //
-// All three probers (yarrp6, sequential/scamper-like, Doubletree) emit
-// wire-format probes into a simnet::Network, advance the virtual clock to
-// realize their target probing rate, and feed decoded replies to a sink.
-// The differences between them — probe *order* and clock *pacing* — are
-// exactly the variables the paper's §4.2 experiments isolate.
+// All three probers (yarrp6, sequential/scamper-like, Doubletree) are
+// implemented as campaign::ProbeSource order generators driven by the
+// campaign::CampaignRunner, which owns pacing, injection, reply dispatch
+// and statistics. The differences between them — probe *order* and clock
+// *pacing* — are exactly the variables the paper's §4.2 experiments
+// isolate. This header re-exports the shared campaign vocabulary under the
+// legacy prober:: names and keeps the one-shot send_probe helper.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <vector>
 
+#include "campaign/probe_source.hpp"
 #include "netbase/ipv6.hpp"
 #include "simnet/network.hpp"
 #include "wire/probe.hpp"
@@ -18,17 +22,10 @@
 namespace beholder6::prober {
 
 /// Called for every decoded reply, in arrival order.
-using ResponseSink = std::function<void(const wire::DecodedReply&)>;
+using ResponseSink = campaign::ResponseSink;
 
 /// What a probing campaign reports about itself.
-struct ProbeStats {
-  std::uint64_t probes_sent = 0;
-  std::uint64_t replies = 0;
-  std::uint64_t fills = 0;           // yarrp6 fill-mode probes
-  std::uint64_t neighborhood_skips = 0;  // yarrp6 neighborhood-mode skips
-  std::uint64_t traces = 0;          // number of distinct targets probed
-  std::uint64_t elapsed_virtual_us = 0;
-};
+using ProbeStats = campaign::ProbeStats;
 
 /// Base configuration shared by all probers.
 struct ProbeConfig {
@@ -37,10 +34,35 @@ struct ProbeConfig {
   std::uint8_t max_ttl = 16;
   double pps = 1000.0;                // average probing rate
   std::uint8_t instance = 1;
+
+  /// The wire identity the campaign engine emits probes with.
+  [[nodiscard]] campaign::Endpoint endpoint() const {
+    return campaign::Endpoint{src, proto, instance};
+  }
 };
 
-/// Encode, pace, inject and decode one probe; returns true if a reply came
-/// back (the reply is forwarded to `sink` first).
+/// Shared configuration of the lockstep (windowed, burst-paced) probers:
+/// sequential and Doubletree both trace a window of destinations in
+/// synchronized rounds at line rate, idling between rounds to hold pps.
+struct LockstepConfig : ProbeConfig {
+  /// Traces probed in lockstep per window; 0 derives it from pps (50 ms of
+  /// probes, minimum 1), which is how the burstiness scales with rate.
+  std::size_t window = 0;
+  std::uint8_t gap_limit = 5;   // stop a trace after this many silent hops
+  std::uint64_t line_rate_gap_us = 1;  // in-burst inter-packet gap
+
+  [[nodiscard]] std::size_t effective_window() const {
+    const double rate = pps > 0 ? pps : 1.0;
+    return window ? window
+                  : std::max<std::size_t>(1, static_cast<std::size_t>(rate * 0.05));
+  }
+  [[nodiscard]] campaign::PacingPolicy pacing() const {
+    return campaign::PacingPolicy::burst(pps, line_rate_gap_us);
+  }
+};
+
+/// Encode, inject and decode one probe; returns true if a reply came back
+/// (the reply is forwarded to `sink` first). Pacing is the caller's job.
 bool send_probe(simnet::Network& net, const ProbeConfig& cfg, const Ipv6Addr& target,
                 std::uint8_t ttl, const ResponseSink& sink);
 

@@ -2,61 +2,86 @@
 
 #include <algorithm>
 
+#include "campaign/runner.hpp"
+
 namespace beholder6::prober {
+
+void SequentialSource::begin(std::uint64_t) {
+  window_ = cfg_.effective_window();
+  if (targets_.empty() || cfg_.max_ttl == 0) {
+    exhausted_ = true;
+    return;
+  }
+  base_ = 0;
+  start_window();
+}
+
+void SequentialSource::start_window() {
+  if (base_ >= targets_.size()) {
+    exhausted_ = true;
+    return;
+  }
+  count_ = std::min(window_, targets_.size() - base_);
+  state_.assign(count_, {});
+  ttl_ = 1;
+  idx_ = 0;
+}
+
+campaign::Poll SequentialSource::next(std::uint64_t) {
+  if (exhausted_) return campaign::Poll::exhausted();
+  while (idx_ < count_ && state_[idx_].done) ++idx_;
+  if (idx_ < count_) {
+    current_ = idx_++;
+    terminal_ = false;
+    round_open_ = true;
+    return campaign::Poll::emit({targets_[base_ + current_], ttl_, false});
+  }
+  // Lockstep round complete: advance to the next TTL round, or the next
+  // window once every trace is done or the TTL horizon is reached; then
+  // let the pacer idle out this round's rate budget.
+  if (round_open_) {
+    round_open_ = false;
+    const bool all_done = std::all_of(state_.begin(), state_.end(),
+                                      [](const TraceState& s) { return s.done; });
+    if (all_done || ttl_ == cfg_.max_ttl) {
+      base_ += window_;
+      start_window();
+    } else {
+      ++ttl_;
+      idx_ = 0;
+    }
+    return campaign::Poll::round_end();
+  }
+  exhausted_ = true;
+  return campaign::Poll::exhausted();
+}
+
+void SequentialSource::on_reply(const campaign::Probe&,
+                                const wire::DecodedReply& reply, std::uint64_t) {
+  // A response from the destination itself (or any non-TE terminal)
+  // completes this trace.
+  terminal_ = reply.type != wire::Icmp6Type::kTimeExceeded ||
+              reply.responder == targets_[base_ + current_];
+}
+
+void SequentialSource::on_probe_done(const campaign::Probe&, bool answered,
+                                     std::uint64_t) {
+  auto& s = state_[current_];
+  if (terminal_) s.done = true;
+  if (!answered && ++s.gaps >= cfg_.gap_limit) s.done = true;
+  if (answered) s.gaps = 0;
+}
+
+void SequentialSource::finish(campaign::ProbeStats& stats) const {
+  stats.traces = targets_.size();
+}
 
 ProbeStats SequentialProber::run(simnet::Network& net,
                                  const std::vector<Ipv6Addr>& targets,
                                  const ResponseSink& sink) {
-  ProbeStats stats;
-  stats.traces = targets.size();
-  const std::uint64_t start = net.now_us();
-  const double pps = cfg_.pps > 0 ? cfg_.pps : 1.0;
-  const std::size_t window =
-      cfg_.window ? cfg_.window
-                  : std::max<std::size_t>(1, static_cast<std::size_t>(pps * 0.05));
-
-  struct TraceState {
-    bool done = false;
-    std::uint8_t gaps = 0;
-  };
-
-  for (std::size_t base = 0; base < targets.size(); base += window) {
-    const std::size_t n = std::min(window, targets.size() - base);
-    std::vector<TraceState> state(n);
-    for (std::uint8_t ttl = 1; ttl <= cfg_.max_ttl; ++ttl) {
-      std::size_t sent_in_round = 0;
-      for (std::size_t i = 0; i < n; ++i) {
-        if (state[i].done) continue;
-        const auto& target = targets[base + i];
-        bool terminal = false;
-        auto wrapped = [&](const wire::DecodedReply& rep) {
-          ++stats.replies;
-          // Response from the destination itself (or any non-TE terminal)
-          // completes this trace.
-          terminal = rep.type != wire::Icmp6Type::kTimeExceeded ||
-                     rep.responder == target;
-          if (sink) sink(rep);
-        };
-        ++stats.probes_sent;
-        ++sent_in_round;
-        const bool answered = send_probe(net, cfg_, target, ttl, wrapped);
-        net.advance_us(cfg_.line_rate_gap_us);  // in-burst: line rate
-        if (terminal) state[i].done = true;
-        if (!answered && ++state[i].gaps >= cfg_.gap_limit) state[i].done = true;
-        if (answered) state[i].gaps = 0;
-      }
-      // Idle out the rest of the round so the average rate stays at pps.
-      const auto budget_us =
-          static_cast<std::uint64_t>(static_cast<double>(sent_in_round) * 1e6 / pps);
-      const auto spent_us = sent_in_round * cfg_.line_rate_gap_us;
-      if (budget_us > spent_us) net.advance_us(budget_us - spent_us);
-      if (std::all_of(state.begin(), state.end(),
-                      [](const TraceState& s) { return s.done; }))
-        break;
-    }
-  }
-  stats.elapsed_virtual_us = net.now_us() - start;
-  return stats;
+  SequentialSource source{cfg_, targets};
+  return campaign::CampaignRunner::run_one(net, source, cfg_.endpoint(),
+                                           cfg_.pacing(), sink);
 }
 
 }  // namespace beholder6::prober

@@ -7,29 +7,68 @@
 // back-to-back burst — the "per-TTL bursty behavior" the paper identifies
 // in packet captures as the cause of sequential probing's rate-limiting
 // losses. Pacing: bursts go out at line rate, then the prober idles to hold
-// the configured average pps.
+// the configured average pps (campaign::PacingPolicy::burst).
 //
 // Paris invariants are inherited from the probe codec (constant header
 // fields per target), and per-trace state lets it stop early at the
 // destination or after `gap_limit` consecutive silent hops — the classic
-// traceroute optimizations yarrp6 deliberately gives up.
+// traceroute optimizations yarrp6 deliberately gives up. SequentialSource
+// expresses that order through the pull API; SequentialProber is the
+// legacy one-campaign shim.
 #pragma once
 
+#include <span>
+#include <vector>
+
+#include "campaign/probe_source.hpp"
 #include "prober/prober.hpp"
 
 namespace beholder6::prober {
 
-struct SequentialConfig : ProbeConfig {
-  /// Traces probed in lockstep per window; 0 derives it from pps (50 ms of
-  /// probes, minimum 1), which is how the burstiness scales with rate.
-  std::size_t window = 0;
-  std::uint8_t gap_limit = 5;   // stop a trace after this many silent hops
-  std::uint64_t line_rate_gap_us = 1;  // in-burst inter-packet gap
+/// Plain lockstep tracing needs nothing beyond the shared window config.
+struct SequentialConfig : LockstepConfig {};
+
+/// Pull-based lockstep order: per window, one round per TTL; a round
+/// boundary after each TTL sweep lets the pacer idle out the rate budget.
+class SequentialSource final : public campaign::ProbeSource {
+ public:
+  SequentialSource(const SequentialConfig& cfg, std::span<const Ipv6Addr> targets)
+      : cfg_(cfg), targets_(targets) {}
+
+  void begin(std::uint64_t now_us) override;
+  campaign::Poll next(std::uint64_t now_us) override;
+  void on_reply(const campaign::Probe& probe, const wire::DecodedReply& reply,
+                std::uint64_t now_us) override;
+  void on_probe_done(const campaign::Probe& probe, bool answered,
+                     std::uint64_t now_us) override;
+  void finish(campaign::ProbeStats& stats) const override;
+
+ private:
+  struct TraceState {
+    bool done = false;
+    std::uint8_t gaps = 0;
+  };
+
+  void start_window();
+
+  SequentialConfig cfg_;
+  std::span<const Ipv6Addr> targets_;
+  std::size_t window_ = 1;
+  std::size_t base_ = 0;       // first trace of the current window
+  std::size_t count_ = 0;      // traces in the current window
+  std::vector<TraceState> state_;
+  std::uint8_t ttl_ = 1;       // current lockstep round
+  std::size_t idx_ = 0;        // next trace to consider this round
+  std::size_t current_ = 0;    // trace of the probe in flight
+  bool round_open_ = false;    // a probe was emitted since the last RoundEnd
+  bool terminal_ = false;      // in-flight probe drew a terminal response
+  bool exhausted_ = false;
 };
 
+/// Legacy facade preserving the old run() signature and exact behaviour.
 class SequentialProber {
  public:
-  explicit SequentialProber(SequentialConfig cfg) : cfg_(cfg) {}
+  explicit SequentialProber(const SequentialConfig& cfg) : cfg_(cfg) {}
 
   ProbeStats run(simnet::Network& net, const std::vector<Ipv6Addr>& targets,
                  const ResponseSink& sink);

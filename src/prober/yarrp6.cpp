@@ -1,86 +1,93 @@
 #include "prober/yarrp6.hpp"
 
+#include "campaign/runner.hpp"
+
 namespace beholder6::prober {
 
 bool send_probe(simnet::Network& net, const ProbeConfig& cfg, const Ipv6Addr& target,
                 std::uint8_t ttl, const ResponseSink& sink) {
-  wire::ProbeSpec spec;
-  spec.src = cfg.src;
-  spec.target = target;
-  spec.proto = cfg.proto;
-  spec.ttl = ttl;
-  spec.elapsed_us = static_cast<std::uint32_t>(net.now_us());
-  spec.instance = cfg.instance;
-  const auto replies = net.inject(wire::encode_probe(spec));
-  bool any = false;
-  for (const auto& r : replies) {
-    const auto dec = wire::decode_reply(r, static_cast<std::uint32_t>(net.now_us()));
-    if (dec && dec->probe.instance == cfg.instance) {
-      any = true;
-      if (sink) sink(*dec);
-    }
+  return campaign::inject_probe(net, cfg.endpoint(), target, ttl,
+                                [&](const wire::DecodedReply& dec) {
+                                  if (sink) sink(dec);
+                                });
+}
+
+void Yarrp6Source::begin(std::uint64_t now_us) {
+  if (targets_.empty() || cfg_.max_ttl == 0) {
+    exhausted_ = true;
+    return;
   }
-  return any;
+  domain_ = targets_.size() * cfg_.max_ttl;
+  perm_.emplace(domain_, cfg_.permutation_key);
+  index_ = cfg_.shard;
+  stride_ = cfg_.shard_count ? cfg_.shard_count : 1;
+  last_new_us_.assign(cfg_.max_ttl + 1u, now_us);
+  seen_at_ttl_.assign(cfg_.max_ttl + 1u, {});
+}
+
+campaign::Poll Yarrp6Source::next(std::uint64_t now_us) {
+  if (exhausted_) return campaign::Poll::exhausted();
+
+  // A pending fill extends the current trace one hop before the permuted
+  // walk resumes; fills are sequential but rare and at the path tail,
+  // where per-router load is minimal (paper §4.1).
+  if (fill_pending_) {
+    fill_pending_ = false;
+    return campaign::Poll::emit({fill_target_,
+                                 static_cast<std::uint8_t>(fill_ttl_ + 1), true});
+  }
+
+  while (index_ < domain_) {
+    const std::uint64_t v = perm_->map(index_);
+    index_ += stride_;
+    const auto& target = targets_[v / cfg_.max_ttl];
+    const auto ttl = static_cast<std::uint8_t>(v % cfg_.max_ttl + 1);
+
+    if (cfg_.neighborhood && ttl <= cfg_.neighborhood_ttl &&
+        now_us - last_new_us_[ttl] > cfg_.neighborhood_window_us) {
+      ++skips_;
+      continue;  // skips consume no virtual time
+    }
+
+    still_on_path_ = false;
+    return campaign::Poll::emit({target, ttl, false});
+  }
+  exhausted_ = true;
+  return campaign::Poll::exhausted();
+}
+
+void Yarrp6Source::on_reply(const campaign::Probe&, const wire::DecodedReply& reply,
+                            std::uint64_t now_us) {
+  still_on_path_ = reply.type == wire::Icmp6Type::kTimeExceeded;
+  if (cfg_.neighborhood && reply.probe.ttl <= cfg_.max_ttl &&
+      seen_at_ttl_[reply.probe.ttl].insert(reply.responder).second)
+    last_new_us_[reply.probe.ttl] = now_us;
+}
+
+void Yarrp6Source::on_probe_done(const campaign::Probe& probe, bool answered,
+                                 std::uint64_t) {
+  if (!cfg_.fill_mode) return;
+  // A fill chain starts at the probing horizon and continues hop by hop
+  // while replies keep saying "still on path", up to the absolute cap.
+  // (ttl >= max_ttl holds exactly for horizon and fill probes.)
+  if (answered && still_on_path_ && probe.ttl >= cfg_.max_ttl &&
+      probe.ttl < cfg_.fill_cap) {
+    fill_pending_ = true;
+    fill_target_ = probe.target;
+    fill_ttl_ = probe.ttl;
+  }
+}
+
+void Yarrp6Source::finish(campaign::ProbeStats& stats) const {
+  stats.traces = targets_.size();
+  stats.neighborhood_skips = skips_;
 }
 
 ProbeStats Yarrp6Prober::run(simnet::Network& net, const std::vector<Ipv6Addr>& targets,
                              const ResponseSink& sink) {
-  ProbeStats stats;
-  stats.traces = targets.size();
-  if (targets.empty() || cfg_.max_ttl == 0) return stats;
-
-  const std::uint64_t gap_us =
-      static_cast<std::uint64_t>(1e6 / (cfg_.pps > 0 ? cfg_.pps : 1.0));
-  const std::uint64_t domain = targets.size() * cfg_.max_ttl;
-  Permutation perm{domain, cfg_.permutation_key};
-  const std::uint64_t start = net.now_us();
-
-  // Neighborhood-mode bookkeeping, indexed by TTL.
-  std::vector<std::uint64_t> last_new_us(cfg_.max_ttl + 1, net.now_us());
-  std::vector<std::unordered_set<Ipv6Addr, Ipv6AddrHash>> seen_at_ttl(cfg_.max_ttl + 1);
-
-  const std::uint64_t stride = cfg_.shard_count ? cfg_.shard_count : 1;
-  for (std::uint64_t i = cfg_.shard; i < domain; i += stride) {
-    const std::uint64_t v = perm.map(i);
-    const auto& target = targets[v / cfg_.max_ttl];
-    const auto ttl = static_cast<std::uint8_t>(v % cfg_.max_ttl + 1);
-
-    if (cfg_.neighborhood && ttl <= cfg_.neighborhood_ttl &&
-        net.now_us() - last_new_us[ttl] > cfg_.neighborhood_window_us) {
-      ++stats.neighborhood_skips;
-      continue;
-    }
-
-    bool still_on_path = false;  // last reply was Time Exceeded (not terminal)
-    auto wrapped = [&](const wire::DecodedReply& rep) {
-      ++stats.replies;
-      still_on_path = rep.type == wire::Icmp6Type::kTimeExceeded;
-      if (cfg_.neighborhood && rep.probe.ttl <= cfg_.max_ttl &&
-          seen_at_ttl[rep.probe.ttl].insert(rep.responder).second)
-        last_new_us[rep.probe.ttl] = net.now_us();
-      if (sink) sink(rep);
-    };
-
-    ++stats.probes_sent;
-    bool answered = send_probe(net, cfg_, target, ttl, wrapped);
-    net.advance_us(gap_us);
-
-    // Fill mode: responses at the probing horizon extend the trace one hop
-    // at a time. Fills are sequential but rare and at the path tail, where
-    // per-router load is minimal (paper §4.1).
-    if (cfg_.fill_mode && ttl == cfg_.max_ttl) {
-      std::uint8_t h = cfg_.max_ttl;
-      while (answered && still_on_path && h < cfg_.fill_cap) {
-        ++h;
-        ++stats.probes_sent;
-        ++stats.fills;
-        answered = send_probe(net, cfg_, target, h, wrapped);
-        net.advance_us(gap_us);
-      }
-    }
-  }
-  stats.elapsed_virtual_us = net.now_us() - start;
-  return stats;
+  Yarrp6Source source{cfg_, targets};
+  return campaign::CampaignRunner::run_one(net, source, cfg_.endpoint(),
+                                           cfg_.pacing(), sink);
 }
 
 }  // namespace beholder6::prober

@@ -1,7 +1,7 @@
-// prober/yarrp6.hpp — the paper's prober (§4.1).
+// prober/yarrp6.hpp — the paper's prober (§4.1), as a campaign ProbeSource.
 //
 // Yarrp6 walks the (target × TTL) space in a keyed random permutation,
-// pacing uniformly at the configured pps. It keeps *no per-trace state*:
+// paced uniformly at the configured pps. It keeps *no per-trace state*:
 // everything needed to interpret a reply rides inside the probe and comes
 // back in the ICMPv6 quotation. Two optional enhancements from the paper:
 //
@@ -12,10 +12,18 @@
 //   neighborhood   — Doubletree-flavored local heuristic: for TTLs at or
 //                    below a threshold, stop probing a TTL whose recent
 //                    probes stopped yielding *new* interface addresses.
+//
+// Yarrp6Source emits that order through the pull API; Yarrp6Prober is the
+// legacy single-campaign facade, now a thin shim over CampaignRunner that
+// preserves the old run() signature and its exact probe/clock sequence.
 #pragma once
 
+#include <optional>
+#include <span>
 #include <unordered_set>
+#include <vector>
 
+#include "campaign/probe_source.hpp"
 #include "netbase/permutation.hpp"
 #include "prober/prober.hpp"
 
@@ -33,11 +41,54 @@ struct Yarrp6Config : ProbeConfig {
   bool neighborhood = false;
   std::uint8_t neighborhood_ttl = 3;     // TTLs <= this may be skipped
   std::uint64_t neighborhood_window_us = 2'000'000;  // staleness window
+
+  /// The pacing this prober's order was designed for.
+  [[nodiscard]] campaign::PacingPolicy pacing() const {
+    return campaign::PacingPolicy::uniform(pps);
+  }
 };
 
+/// Pull-based yarrp6 order: permuted (target × TTL) walk with optional
+/// fill chains and neighborhood skipping. The targets span must outlive
+/// the source.
+class Yarrp6Source final : public campaign::ProbeSource {
+ public:
+  Yarrp6Source(const Yarrp6Config& cfg, std::span<const Ipv6Addr> targets)
+      : cfg_(cfg), targets_(targets) {}
+
+  void begin(std::uint64_t now_us) override;
+  campaign::Poll next(std::uint64_t now_us) override;
+  void on_reply(const campaign::Probe& probe, const wire::DecodedReply& reply,
+                std::uint64_t now_us) override;
+  void on_probe_done(const campaign::Probe& probe, bool answered,
+                     std::uint64_t now_us) override;
+  void finish(campaign::ProbeStats& stats) const override;
+
+ private:
+  Yarrp6Config cfg_;
+  std::span<const Ipv6Addr> targets_;
+  std::optional<Permutation> perm_;
+  std::uint64_t domain_ = 0;
+  std::uint64_t index_ = 0;
+  std::uint64_t stride_ = 1;
+  bool exhausted_ = false;
+  // Fill-chain state: at most one pending fill probe at a time.
+  bool fill_pending_ = false;
+  Ipv6Addr fill_target_;
+  std::uint8_t fill_ttl_ = 0;
+  bool still_on_path_ = false;  // last reply was Time Exceeded
+  // Neighborhood-mode bookkeeping, indexed by TTL.
+  std::uint64_t skips_ = 0;
+  std::vector<std::uint64_t> last_new_us_;
+  std::vector<std::unordered_set<Ipv6Addr, Ipv6AddrHash>> seen_at_ttl_;
+};
+
+/// Legacy facade: one full campaign per run() call, driven by an internal
+/// CampaignRunner. Probe order, clock advancement and stats are identical
+/// to the pre-engine implementation.
 class Yarrp6Prober {
  public:
-  explicit Yarrp6Prober(Yarrp6Config cfg) : cfg_(cfg) {}
+  explicit Yarrp6Prober(const Yarrp6Config& cfg) : cfg_(cfg) {}
 
   /// Probe every (target, ttl) pair in permuted order; returns stats.
   ProbeStats run(simnet::Network& net, const std::vector<Ipv6Addr>& targets,

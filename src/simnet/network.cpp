@@ -128,6 +128,20 @@ std::vector<Packet> Network::reply_to_interface_echo(const wire::Ipv6Header& ip,
 }
 
 std::vector<Packet> Network::inject(const Packet& probe) {
+  auto replies = inject_impl(probe);
+  if (observer_) observer_(probe, replies);
+  return replies;
+}
+
+std::vector<std::vector<Packet>> Network::inject_batch(
+    const std::vector<Packet>& probes) {
+  std::vector<std::vector<Packet>> out;
+  out.reserve(probes.size());
+  for (const auto& p : probes) out.push_back(inject(p));
+  return out;
+}
+
+std::vector<Packet> Network::inject_impl(const Packet& probe) {
   ++stats_.probes;
   // Failure injection: lose this probe's reply with the configured
   // probability, keyed deterministically off content and time.

@@ -15,6 +15,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <iterator>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -79,6 +81,21 @@ struct NetworkStats {
   [[nodiscard]] std::uint64_t responses() const {
     return time_exceeded + echo_replies + dest_unreach_total();
   }
+
+  /// Accumulate another campaign's counters (cross-campaign reporting).
+  NetworkStats& operator+=(const NetworkStats& o) {
+    probes += o.probes;
+    time_exceeded += o.time_exceeded;
+    echo_replies += o.echo_replies;
+    for (std::size_t i = 0; i < std::size(dest_unreach); ++i)
+      dest_unreach[i] += o.dest_unreach[i];
+    rate_limited += o.rate_limited;
+    silent_drops += o.silent_drops;
+    lost_replies += o.lost_replies;
+    malformed += o.malformed;
+    return *this;
+  }
+  friend bool operator==(const NetworkStats&, const NetworkStats&) = default;
 };
 
 class Network {
@@ -94,6 +111,19 @@ class Network {
   /// The packet's source address selects the vantage (must be registered in
   /// the topology).
   std::vector<Packet> inject(const Packet& probe);
+
+  /// Inject a burst of probes that share one send instant; replies are
+  /// grouped per probe, in order. Semantically identical to calling
+  /// inject() in a loop — this is the batching hook for backends that
+  /// amortize per-call overhead (and for line-rate burst emitters).
+  std::vector<std::vector<Packet>> inject_batch(const std::vector<Packet>& probes);
+
+  /// Per-probe observation hook: called after every inject() with the probe
+  /// and its replies, before they reach the caller. Campaign tooling uses
+  /// it to watch a shared network without wrapping every injection site.
+  using ProbeObserver =
+      std::function<void(const Packet& probe, const std::vector<Packet>& replies)>;
+  void set_probe_observer(ProbeObserver observer) { observer_ = std::move(observer); }
 
   [[nodiscard]] const NetworkStats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
@@ -120,6 +150,7 @@ class Network {
   [[nodiscard]] bool router_silent(std::uint64_t router_id) const;
 
  private:
+  std::vector<Packet> inject_impl(const Packet& probe);
   std::vector<Packet> reply_to_interface_echo(const wire::Ipv6Header& ip,
                                               std::uint64_t router_id,
                                               const Packet& probe);
@@ -134,6 +165,7 @@ class Network {
 
   const Topology& topo_;
   NetworkParams params_;
+  ProbeObserver observer_;
   std::uint64_t now_us_ = 0;
   NetworkStats stats_;
   std::unordered_map<std::uint64_t, TokenBucket> buckets_;

@@ -1,0 +1,57 @@
+#include "target/characterize.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace beholder6::target {
+
+SetFeatures characterize(const TargetSet& set, const simnet::Topology& topo) {
+  SetFeatures f;
+  std::unordered_set<Ipv6Addr, Ipv6AddrHash> uniq;
+  uniq.reserve(set.addrs.size());
+  for (const auto& a : set.addrs) {
+    if (!uniq.insert(a).second) continue;
+    ++f.unique_targets;
+    if ((a.hi() >> 48) == 0x2002) ++f.six_to_four;
+    if (const auto m = topo.bgp().lpm(a)) {
+      ++f.routed_targets;
+      f.bgp_prefixes.insert(m->first);
+      f.asns.insert(*m->second);
+    }
+  }
+  return f;
+}
+
+void exclusive_features(const std::vector<const TargetSet*>& universe,
+                        std::vector<SetFeatures>& features,
+                        const simnet::Topology& topo) {
+  // Count, per feature, how many universe sets contribute it; a set's
+  // exclusives are the features with count one that it contributes.
+  std::unordered_map<Ipv6Addr, unsigned, Ipv6AddrHash> target_sets;
+  std::map<Prefix, unsigned> prefix_sets;
+  std::map<simnet::Asn, unsigned> asn_sets;
+  std::vector<std::unordered_set<Ipv6Addr, Ipv6AddrHash>> uniq(universe.size());
+  for (std::size_t i = 0; i < universe.size(); ++i) {
+    for (const auto& a : universe[i]->addrs) uniq[i].insert(a);
+    for (const auto& a : uniq[i]) ++target_sets[a];
+    if (i < features.size()) {
+      for (const auto& p : features[i].bgp_prefixes) ++prefix_sets[p];
+      for (const auto asn : features[i].asns) ++asn_sets[asn];
+    }
+  }
+  for (std::size_t i = 0; i < universe.size() && i < features.size(); ++i) {
+    auto& f = features[i];
+    f.excl_targets = f.excl_routed = f.excl_bgp_prefixes = f.excl_asns = 0;
+    for (const auto& a : uniq[i]) {
+      if (target_sets[a] != 1) continue;
+      ++f.excl_targets;
+      f.excl_routed += topo.bgp().covers(a);
+    }
+    for (const auto& p : f.bgp_prefixes) f.excl_bgp_prefixes += prefix_sets[p] == 1;
+    for (const auto asn : f.asns) f.excl_asns += asn_sets[asn] == 1;
+  }
+}
+
+}  // namespace beholder6::target

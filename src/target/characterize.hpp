@@ -1,0 +1,40 @@
+// target/characterize.hpp — target-set feature analysis (paper Table 5 and
+// Figures 2/3): size, routedness, BGP prefix / origin-AS coverage, 6to4
+// share, per-universe exclusives, and the discriminating-prefix-length
+// (DPL) distribution that captures a set's spatial clustering.
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "simnet/topology.hpp"
+#include "target/seedlist.hpp"
+
+namespace beholder6::target {
+
+/// Features of one target set relative to the BGP ground truth. The excl_*
+/// fields are zero until exclusive_features() fills them against a
+/// universe of sets.
+struct SetFeatures {
+  std::size_t unique_targets = 0;
+  std::size_t routed_targets = 0;
+  std::size_t six_to_four = 0;         // targets under 2002::/16
+  std::set<Prefix> bgp_prefixes;       // covering announcements (LPM)
+  std::set<simnet::Asn> asns;          // origin ASes of routed targets
+  std::size_t excl_targets = 0;        // targets in exactly this set
+  std::size_t excl_routed = 0;
+  std::size_t excl_bgp_prefixes = 0;   // prefixes no other set touches
+  std::size_t excl_asns = 0;
+};
+
+[[nodiscard]] SetFeatures characterize(const TargetSet& set,
+                                       const simnet::Topology& topo);
+
+/// Fill the excl_* fields of `features[i]` (parallel to `universe`): a
+/// feature is exclusive to set i when no other universe member contributes
+/// it.
+void exclusive_features(const std::vector<const TargetSet*>& universe,
+                        std::vector<SetFeatures>& features,
+                        const simnet::Topology& topo);
+
+}  // namespace beholder6::target

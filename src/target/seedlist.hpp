@@ -1,0 +1,46 @@
+// target/seedlist.hpp — the vocabulary of the target-generation pipeline
+// (paper §3, Figure 1: seed sourcing → prefix transformation → target
+// synthesis).
+//
+// A SeedList is what a seed *source* produces: a named list of prefix
+// entries. Address-granularity sources (caida, fiebig, fdns_any, dnsdb,
+// 6gen, tum, random) emit /128 entries; aggregate sources (the kIP-anonymized
+// CDN client lists) emit shorter prefixes. A TargetSet is what *synthesis*
+// produces from a transformed list: concrete probe destinations.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netbase/ipv6.hpp"
+#include "netbase/prefix.hpp"
+
+namespace beholder6::target {
+
+/// A named list of seed entries. Entries are canonical prefixes: /128 for
+/// concrete addresses, shorter for aggregate sources.
+struct SeedList {
+  std::string name;
+  std::vector<Prefix> entries;
+
+  [[nodiscard]] std::size_t size() const { return entries.size(); }
+};
+
+/// A named list of synthesized probe targets.
+struct TargetSet {
+  std::string name;
+  std::vector<Ipv6Addr> addrs;
+
+  [[nodiscard]] std::size_t size() const { return addrs.size(); }
+};
+
+/// The fixed interface identifier the paper's fixed-IID synthesis installs
+/// into every target /64. Deliberately classless: the high 48 bits are
+/// non-zero (not lowbyte) and bytes 3-4 are not ff:fe (not EUI-64), so
+/// result analysis never confuses synthesized targets with discovered
+/// addresses of either structured class.
+inline constexpr std::uint64_t kFixedIid = 0x5a19ce6b5eedc0deULL;
+
+}  // namespace beholder6::target

@@ -1,0 +1,34 @@
+// target/synthesis.hpp — target synthesis: the final step of the paper's
+// pipeline (Figure 1), turning a zn-transformed seed list into concrete
+// probe destinations. Three strategies from the Table 4 IID trial:
+//
+//   fixediid  — install the same pseudo-random IID into every /zn (the
+//               campaign default: responses are attributable and synthesized
+//               targets are distinguishable from discovered addresses)
+//   lowbyte1  — install ::1 (the "every gateway is ::1" heuristic)
+//   known     — keep real seed addresses that fall inside the transformed
+//               space (what rDNS-derived lists uniquely enable)
+#pragma once
+
+#include <vector>
+
+#include "target/seedlist.hpp"
+
+namespace beholder6::target {
+
+/// One target per entry: base | ::<kFixedIid>.
+[[nodiscard]] TargetSet synthesize_fixediid(const SeedList& zn_list);
+
+/// One target per entry: base | ::1.
+[[nodiscard]] TargetSet synthesize_lowbyte1(const SeedList& zn_list);
+
+/// Known-address synthesis: every address of `known` that falls inside some
+/// entry of `zn_list`, deduplicated in input order.
+[[nodiscard]] TargetSet synthesize_known(const SeedList& zn_list,
+                                         const std::vector<Ipv6Addr>& known);
+
+/// Union of several target sets, deduplicated in input order.
+[[nodiscard]] TargetSet combine(const std::vector<const TargetSet*>& parts,
+                                const std::string& name);
+
+}  // namespace beholder6::target

@@ -1,0 +1,68 @@
+// target/transform.hpp — the zn prefix transformation (paper §3.3) and the
+// kIP anonymity aggregation used by the CDN seed source (paper §3.2).
+//
+// The zn transformation normalizes a seed list to /n granularity:
+//
+//   * entries at least as specific as /n are truncated to their covering /n
+//     and deduplicated — this is what collapses dense hitlists (z40 of a
+//     server farm is a handful of prefixes; z64 keeps every subnet), and
+//
+//   * entries *less* specific than /n (CDN kIP aggregates) are expanded
+//     into the /n subnets they cover. Expansion is capped per entry and
+//     samples the aggregate with an even stride, so a pathological short
+//     aggregate cannot blow a campaign up by 2^16.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "target/seedlist.hpp"
+
+namespace beholder6::target {
+
+/// Maximum /n subnets synthesized from one too-short entry. Powers of two
+/// keep the sampling stride exact.
+inline constexpr std::uint64_t kMaxExpandPerEntry = 256;
+
+/// Normalize `in` to /zn granularity (zn in [1, 64] — the paper uses 40,
+/// 48, 56, 64). Output entries are all /zn, deduplicated, in first-seen
+/// order; the name records the transformation level.
+[[nodiscard]] SeedList transform_zn(const SeedList& in, unsigned zn);
+
+/// Discriminating prefix length per address: the shortest prefix length
+/// that separates it from its nearest neighbour in the set (1 + longest
+/// common prefix with any other member, capped at 128). A lone address has
+/// DPL 0. Input order does not matter; one value per input address.
+/// This is the paper's Figure 3 metric: it captures how zn transformation
+/// and set combination change a target set's spatial clustering.
+[[nodiscard]] std::vector<unsigned> dpl_of(const std::vector<Ipv6Addr>& addrs);
+
+/// CDF over DPL values: out[p] = fraction of addresses with DPL <= p, for
+/// p in [0, 128].
+[[nodiscard]] std::vector<double> dpl_cdf(const std::vector<unsigned>& dpls);
+
+/// kIP aggregation (Plonka & Berger, IMC 2017): given active WWW client
+/// /64s, publish the most specific prefixes that each cover at least k
+/// distinct client /64s, and publish *nothing* for space below the
+/// anonymity threshold. Smaller k ⇒ weaker anonymity ⇒ more, longer
+/// published prefixes.
+class KipAggregator {
+ public:
+  explicit KipAggregator(unsigned k) : k_(k < 1 ? 1 : k) {}
+
+  /// Record one active client /64 (only its /64 prefix is kept).
+  void add(const Prefix& slash64) { hi64s_.insert(slash64.base().hi()); }
+
+  [[nodiscard]] std::size_t distinct_64s() const { return hi64s_.size(); }
+
+  /// Published aggregates, in address order. Aggregates never cross a /48
+  /// boundary (kIP publishes within routed site granularity).
+  [[nodiscard]] std::vector<Prefix> aggregate() const;
+
+ private:
+  unsigned k_;
+  std::set<std::uint64_t> hi64s_;  // distinct client /64s, by high half
+};
+
+}  // namespace beholder6::target
