@@ -1,0 +1,127 @@
+// parallel_campaigns — wall-clock scaling of the sharded parallel campaign
+// backend on the Table 7 workload (every seed list at z48 and z64, probed
+// from all three vantages: 3 × |sets| independent yarrp6 campaigns).
+//
+// Runs the identical shard list at 1, 2, 4 and 8 worker threads, timing
+// each pass, and verifies the backend's determinism contract as it goes:
+// merged ProbeStats, merged NetworkStats, and the (virtual time, shard,
+// arrival)-ordered reply stream must be bit-identical at every thread
+// count. Reports virtual-probe throughput and speedup over the 1-thread
+// pass. Expect near-linear scaling up to the core count (shards share
+// nothing but the topology's lock-guarded BFS memo); on a 1-core host the
+// determinism check still runs but speedup stays ~1×.
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "campaign/parallel.hpp"
+#include "netbase/rng.hpp"
+
+using namespace beholder6;
+
+namespace {
+
+/// Order-sensitive digest of the merged reply stream.
+std::uint64_t reply_digest(const std::vector<campaign::ShardReply>& replies) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (const auto& r : replies) {
+    h = splitmix64(h ^ r.virtual_us);
+    h = splitmix64(h ^ r.shard);
+    h = splitmix64(h ^ Ipv6AddrHash{}(r.reply.responder));
+    h = splitmix64(h ^ static_cast<std::uint64_t>(r.reply.type));
+    h = splitmix64(h ^ r.reply.probe.ttl);
+    h = splitmix64(h ^ r.reply.rtt_us);
+  }
+  return h;
+}
+
+struct Pass {
+  unsigned threads = 0;
+  double seconds = 0;
+  campaign::ProbeStats probe_stats;
+  simnet::NetworkStats net_stats;
+  std::size_t replies = 0;
+  std::uint64_t digest = 0;
+  std::uint64_t elapsed_virtual_us = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.6;
+  bench::World world{scale};
+  const auto sets = world.all_sets(/*include_random=*/false);
+  const auto& vantages = world.topo.vantages();
+
+  std::printf("Parallel campaign backend: Table 7 workload, %zu shards "
+              "(%zu sets x %zu vantages), hardware threads: %u\n",
+              sets.size() * vantages.size(), sets.size(), vantages.size(),
+              std::thread::hardware_concurrency());
+  bench::rule('=');
+  std::printf("%8s %10s %12s %10s %9s  %s\n", "Threads", "Wall (s)", "Probes/s",
+              "Replies", "Speedup", "Determinism");
+  bench::rule();
+
+  std::vector<Pass> passes;
+  for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+    // Sources are stateful: build a fresh shard list per pass.
+    std::vector<std::unique_ptr<prober::Yarrp6Source>> sources;
+    sources.reserve(sets.size() * vantages.size());
+    std::vector<campaign::Shard> shards;
+    shards.reserve(sources.capacity());
+    for (const auto& ns : sets) {
+      for (const auto& vantage : vantages) {
+        prober::Yarrp6Config cfg;
+        cfg.src = vantage.src;
+        cfg.pps = 1000;
+        cfg.max_ttl = 16;
+        cfg.fill_mode = true;
+        sources.push_back(std::make_unique<prober::Yarrp6Source>(cfg, ns.set.addrs));
+        shards.push_back({sources.back().get(), cfg.endpoint(), cfg.pacing(), {}});
+      }
+    }
+
+    const campaign::ParallelCampaignRunner runner{world.topo,
+                                                  simnet::NetworkParams{}, threads};
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto result = runner.run(shards);
+    const auto t1 = std::chrono::steady_clock::now();
+
+    Pass pass;
+    pass.threads = threads;
+    pass.seconds = std::chrono::duration<double>(t1 - t0).count();
+    pass.probe_stats = result.probe_stats;
+    pass.net_stats = result.net_stats;
+    pass.replies = result.replies.size();
+    pass.digest = reply_digest(result.replies);
+    pass.elapsed_virtual_us = result.elapsed_virtual_us;
+
+    const bool identical =
+        passes.empty() || (pass.probe_stats == passes.front().probe_stats &&
+                           pass.net_stats == passes.front().net_stats &&
+                           pass.digest == passes.front().digest);
+    const double speedup =
+        passes.empty() ? 1.0 : passes.front().seconds / pass.seconds;
+    std::printf("%8u %10.3f %12s %10zu %8.2fx  %s\n", threads, pass.seconds,
+                bench::human(static_cast<double>(pass.probe_stats.probes_sent) /
+                             pass.seconds)
+                    .c_str(),
+                pass.replies, speedup,
+                passes.empty()     ? "baseline"
+                : identical        ? "bit-identical to 1-thread"
+                                   : "MISMATCH (bug!)");
+    if (!identical) return 1;
+    passes.push_back(pass);
+  }
+  bench::rule();
+  std::printf("Merged totals: %llu probes, %llu replies, %llu rate-limited; "
+              "slowest-shard virtual time %.1fs\n",
+              static_cast<unsigned long long>(passes[0].probe_stats.probes_sent),
+              static_cast<unsigned long long>(passes[0].probe_stats.replies),
+              static_cast<unsigned long long>(passes[0].net_stats.rate_limited),
+              static_cast<double>(passes[0].elapsed_virtual_us) / 1e6);
+  return 0;
+}

@@ -6,11 +6,18 @@
 //
 // Scaled-down in absolute numbers (synthetic Internet), but the orderings
 // and ratios are the reproduction target.
+//
+// The (set × vantage) campaigns were always independent (each ran on a
+// fresh network), so they run as shards of one ParallelCampaignRunner:
+// argv[2] picks the worker thread count (0/default = hardware), which
+// changes wall-clock only — rows are bit-identical at any thread count.
 #include <algorithm>
 #include <map>
+#include <memory>
 #include <set>
 
 #include "bench/common.hpp"
+#include "campaign/parallel.hpp"
 #include "netbase/eui64.hpp"
 
 using namespace beholder6;
@@ -85,41 +92,73 @@ void accumulate(CampaignRow& row, const topology::TraceCollector& col,
 
 int main(int argc, char** argv) {
   const double scale = argc > 1 ? std::atof(argv[1]) : 0.6;
+  const unsigned n_threads = argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 0;
   bench::World world{scale};
   const auto sets = world.all_sets(/*include_random=*/false);
+  const auto& vantages = world.topo.vantages();
+
+  // One shard per (set × vantage) campaign; each feeds a shard-private
+  // collector on its worker thread.
+  struct Job {
+    prober::Yarrp6Config cfg;
+    std::unique_ptr<prober::Yarrp6Source> source;
+    topology::TraceCollector collector;
+  };
+  std::vector<Job> jobs;
+  for (const auto& ns : sets) {
+    for (const auto& vantage : vantages) {
+      Job job;
+      job.cfg.src = vantage.src;
+      job.cfg.pps = 1000;
+      job.cfg.max_ttl = 16;
+      job.cfg.fill_mode = true;
+      job.source = std::make_unique<prober::Yarrp6Source>(job.cfg, ns.set.addrs);
+      jobs.push_back(std::move(job));
+    }
+  }
+  // Shard sinks hold references into `jobs`, so they are built only after
+  // the vector stops growing.
+  std::vector<campaign::Shard> shards;
+  shards.reserve(jobs.size());
+  for (auto& j : jobs)
+    shards.push_back({j.source.get(), j.cfg.endpoint(), j.cfg.pacing(),
+                      [&j](const wire::DecodedReply& r) { j.collector.on_reply(r); }});
+  const campaign::ParallelCampaignRunner runner{world.topo, simnet::NetworkParams{},
+                                                n_threads};
+  const auto parallel = runner.run(shards);
 
   std::vector<CampaignRow> rows;
   CampaignRow all;
   all.name = "ALL";
   std::map<std::string, CampaignRow> by_vantage;
 
-  for (const auto& ns : sets) {
+  for (std::size_t si = 0; si < sets.size(); ++si) {
+    const auto& ns = sets[si];
     CampaignRow row;
     row.name = ns.seed_name + " z" + std::to_string(ns.zn);
     row.targets.insert(ns.set.addrs.begin(), ns.set.addrs.end());
-    for (const auto& vantage : world.topo.vantages()) {
-      prober::Yarrp6Config cfg;
-      cfg.pps = 1000;
-      cfg.max_ttl = 16;
-      cfg.fill_mode = true;
-      const auto c = bench::run_yarrp(world.topo, vantage, ns.set.addrs, cfg);
+    for (std::size_t vi = 0; vi < vantages.size(); ++vi) {
+      const auto& vantage = vantages[vi];
+      const auto job_idx = si * vantages.size() + vi;
+      const auto& stats = parallel.per_shard[job_idx];
+      const auto& collector = jobs[job_idx].collector;
 
       auto& vrow = by_vantage[vantage.name];
       vrow.name = vantage.name;
-      vrow.stats += c.probe_stats;
+      vrow.stats += stats;
       vrow.targets.insert(ns.set.addrs.begin(), ns.set.addrs.end());
-      accumulate(vrow, c.collector, world.topo);
-      all.stats += c.probe_stats;
+      accumulate(vrow, collector, world.topo);
+      all.stats += stats;
       all.targets.insert(ns.set.addrs.begin(), ns.set.addrs.end());
-      accumulate(all, c.collector, world.topo);
-      row.stats += c.probe_stats;
+      accumulate(all, collector, world.topo);
+      row.stats += stats;
       // Vantage-0 campaigns supply the per-set behavioural metrics, as a
       // single consistent perspective (the paper reports per-set rows from
       // merged campaigns; orderings are unaffected).
-      if (&vantage == &world.topo.vantages()[0]) {
-        accumulate(row, c.collector, world.topo);
+      if (vi == 0) {
+        accumulate(row, collector, world.topo);
       } else {
-        for (const auto& iface : c.collector.interfaces()) {
+        for (const auto& iface : collector.interfaces()) {
           row.interfaces.insert(iface);
           if (const auto m = world.topo.bgp().lpm(iface)) {
             row.bgp.insert(m->first);

@@ -1,0 +1,91 @@
+#include "campaign/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace beholder6::campaign {
+
+ParallelResult ParallelCampaignRunner::run(const std::vector<Shard>& shards) const {
+  ParallelResult result;
+  result.per_shard.resize(shards.size());
+  result.per_shard_net.resize(shards.size());
+  std::vector<std::vector<ShardReply>> streams(shards.size());
+
+  // One shard, start to finish, on whichever thread claims it. Every write
+  // lands in this shard's own slot, so workers share nothing mutable but
+  // the claim counter (the Topology's internal memo is lock-guarded).
+  auto run_shard = [&](std::size_t i) {
+    const Shard& shard = shards[i];
+    simnet::Network net{topo_, params_};
+    auto& stream = streams[i];
+    CampaignRunner runner{net};
+    runner.add(*shard.source, shard.endpoint, shard.pacing,
+               [&](const wire::DecodedReply& r) {
+                 stream.push_back(
+                     {net.now_us(), static_cast<std::uint32_t>(i), r});
+                 if (shard.sink) shard.sink(r);
+               });
+    result.per_shard[i] = runner.run()[0];
+    result.per_shard_net[i] = net.stats();
+  };
+
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const std::size_t workers =
+      std::min<std::size_t>(shards.size(), n_threads_ ? n_threads_ : hw);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < shards.size(); ++i) run_shard(i);
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::mutex error_mu;
+    std::exception_ptr error;
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&] {
+        for (;;) {
+          const auto i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= shards.size()) return;
+          try {
+            run_shard(i);
+          } catch (...) {
+            const std::lock_guard<std::mutex> lock{error_mu};
+            if (!error) error = std::current_exception();
+          }
+        }
+      });
+    }
+    for (auto& t : pool) t.join();
+    if (error) std::rethrow_exception(error);
+  }
+
+  // Deterministic merge: stats fold in shard order; the reply stream gets
+  // its total order from (virtual time, shard id, intra-shard arrival).
+  // Each per-shard stream is already time-sorted (virtual clocks are
+  // monotonic), so a stable sort of the shard-order concatenation realizes
+  // exactly that key.
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    result.probe_stats += result.per_shard[i];
+    result.net_stats += result.per_shard_net[i];
+    result.elapsed_virtual_us = std::max(result.elapsed_virtual_us,
+                                         result.per_shard[i].elapsed_virtual_us);
+    total += streams[i].size();
+  }
+  result.replies.reserve(total);
+  for (auto& stream : streams)
+    result.replies.insert(result.replies.end(),
+                          std::make_move_iterator(stream.begin()),
+                          std::make_move_iterator(stream.end()));
+  std::stable_sort(result.replies.begin(), result.replies.end(),
+                   [](const ShardReply& a, const ShardReply& b) {
+                     return a.virtual_us != b.virtual_us
+                                ? a.virtual_us < b.virtual_us
+                                : a.shard < b.shard;
+                   });
+  return result;
+}
+
+}  // namespace beholder6::campaign

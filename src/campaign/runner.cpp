@@ -2,6 +2,23 @@
 
 namespace beholder6::campaign {
 
+namespace {
+
+/// Advance a Bresenham pacing accumulator by `budget_us` ideal (possibly
+/// fractional) microseconds: returns the integral step the virtual clock
+/// should take and carries the remainder into the next step, so the
+/// long-run average rate is exact at any pps. Integral budgets leave the
+/// carry at exactly zero, which is what keeps classic integral-gap
+/// schedules (pps = 1000, 500, ...) bit-identical to the legacy loops.
+std::uint64_t pace_step(double budget_us, double& carry) {
+  const double exact = budget_us + carry;
+  const auto step = static_cast<std::uint64_t>(exact);
+  carry = exact - static_cast<double>(step);
+  return step;
+}
+
+}  // namespace
+
 std::size_t CampaignRunner::add(ProbeSource& source, const Endpoint& endpoint,
                                 const PacingPolicy& pacing, ResponseSink sink) {
   Member m;
@@ -9,9 +26,14 @@ std::size_t CampaignRunner::add(ProbeSource& source, const Endpoint& endpoint,
   m.endpoint = endpoint;
   m.pacing = pacing;
   m.sink = std::move(sink);
-  // Same arithmetic as the classic prober loops: the per-probe gap is
-  // computed once, in integer microseconds.
-  m.gap_us = static_cast<std::uint64_t>(1e6 / (pacing.pps > 0 ? pacing.pps : 1.0));
+  // The ideal per-probe budget. The classic prober loops truncated this to
+  // integer microseconds once, up front — which zeroes the gap at
+  // pps >= 1e6 (the clock never advances, every probe lands on one tick and
+  // buckets never refill) and drifts the long-run rate whenever 1e6/pps is
+  // fractional (pps = 3 paced at 333333 µs instead of 333333.3̅). The
+  // runner keeps the exact value and truncates per probe through the
+  // pace_step accumulator instead.
+  m.gap_exact_us = 1e6 / (pacing.pps > 0 ? pacing.pps : 1.0);
   m.due_us = net_.now_us();  // first send slot: immediately
   members_.push_back(std::move(m));
   stats_.emplace_back();
@@ -35,6 +57,47 @@ void CampaignRunner::emit(Member& m, ProbeStats& stats, const Probe& probe) {
   m.source->on_probe_done(probe, answered, net_.now_us());
 }
 
+Poll CampaignRunner::drain_zero_gap_window(Member& m, ProbeStats& stats,
+                                           const Probe& first) {
+  // A zero-gap burst window shares one send instant, so no reply can steer
+  // a probe behind it in the same window — at line rate the packets are
+  // already on the wire. That licenses batching: poll the source's whole
+  // window up front, inject it through Network::inject_batch, then deliver
+  // on_reply/on_probe_done per probe, in probe order, after the batch
+  // lands. Reply bytes, dispatch order, and network counters are identical
+  // to the probe-at-a-time path (inject_batch is semantically a loop of
+  // inject); only the feedback timing moves, and that is the defined
+  // semantics of a same-instant burst.
+  std::vector<Probe> window{first};
+  Poll terminal;
+  for (;;) {
+    terminal = m.source->next(net_.now_us());
+    if (terminal.status != Poll::Status::kProbe) break;
+    window.push_back(terminal.probe);
+  }
+
+  std::vector<simnet::Packet> packets;
+  packets.reserve(window.size());
+  for (const auto& p : window)
+    packets.push_back(encode_probe_at(m.endpoint, p.target, p.ttl, net_.now_us()));
+  const auto replies = net_.inject_batch(packets);
+
+  for (std::size_t i = 0; i < window.size(); ++i) {
+    const auto& probe = window[i];
+    ++stats.probes_sent;
+    if (probe.fill) ++stats.fills;
+    const bool answered = dispatch_replies(
+        replies[i], m.endpoint, net_.now_us(), [&](const wire::DecodedReply& dec) {
+          ++stats.replies;
+          if (m.sink) m.sink(dec);
+          m.source->on_reply(probe, dec, net_.now_us());
+        });
+    m.source->on_probe_done(probe, answered, net_.now_us());
+  }
+  m.round_sent += window.size();
+  return terminal;
+}
+
 bool CampaignRunner::step() {
   if (queue_.empty()) return false;
   const auto slot = queue_.top();
@@ -48,12 +111,19 @@ bool CampaignRunner::step() {
     m.source->begin(net_.now_us());
   }
 
-  const auto poll = m.source->next(net_.now_us());
+  auto poll = m.source->next(net_.now_us());
+  if (poll.status == Poll::Status::kProbe &&
+      m.pacing.kind == PacingPolicy::Kind::kBurst &&
+      m.pacing.line_rate_gap_us == 0) {
+    // Whole same-instant window in one event; ends in kRoundEnd/kExhausted.
+    poll = drain_zero_gap_window(m, stats, poll.probe);
+  }
+
   switch (poll.status) {
     case Poll::Status::kProbe:
       emit(m, stats, poll.probe);
       if (m.pacing.kind == PacingPolicy::Kind::kUniform) {
-        m.due_us += m.gap_us;
+        m.due_us += pace_step(m.gap_exact_us, m.pace_carry);
       } else {
         ++m.round_sent;
         m.due_us += m.pacing.line_rate_gap_us;
@@ -62,14 +132,21 @@ bool CampaignRunner::step() {
       break;
 
     case Poll::Status::kRoundEnd: {
-      // Idle out the rest of the round so the average rate stays at pps —
-      // the same arithmetic as the lockstep probers' round budget.
-      const auto budget_us = static_cast<std::uint64_t>(
-          static_cast<double>(m.round_sent) * 1e6 /
-          (m.pacing.pps > 0 ? m.pacing.pps : 1.0));
-      const auto spent_us = m.round_sent * m.pacing.line_rate_gap_us;
-      if (budget_us > spent_us) m.due_us += budget_us - spent_us;
-      m.round_sent = 0;
+      if (m.pacing.kind == PacingPolicy::Kind::kBurst) {
+        // Idle out the rest of the round so the average rate stays at pps —
+        // the same arithmetic as the lockstep probers' round budget, with
+        // the fractional part carried across rounds.
+        const auto budget_us = pace_step(
+            static_cast<double>(m.round_sent) * m.gap_exact_us, m.pace_carry);
+        const auto spent_us = m.round_sent * m.pacing.line_rate_gap_us;
+        if (budget_us > spent_us) m.due_us += budget_us - spent_us;
+        m.round_sent = 0;
+      }
+      // Under uniform pacing a round boundary is pacing-neutral by
+      // definition: every probe already paid its full 1e6/pps gap, so
+      // there is no residual budget and the source is simply re-polled at
+      // the same virtual slot. (No division by pps happens here — the old
+      // code computed a 0/pps budget as an accident of round_sent == 0.)
       schedule(slot.member);
       break;
     }

@@ -29,30 +29,50 @@
 
 namespace beholder6::campaign {
 
-/// The one injection contract every campaign path shares: encode the probe
-/// at the current virtual time, inject it, decode each reply and filter on
-/// the endpoint's instance id, handing survivors to `on_reply`. Returns
-/// true if at least one reply passed the filter. Templated on the callback
-/// so hot paths pay no std::function construction per probe.
-template <typename ReplyFn>
-bool inject_probe(simnet::Network& net, const Endpoint& endpoint,
-                  const Ipv6Addr& target, std::uint8_t ttl, ReplyFn&& on_reply) {
+/// Encode one probe with the endpoint's wire identity at virtual time
+/// `now_us` — the byte layout every campaign injection path shares.
+inline simnet::Packet encode_probe_at(const Endpoint& endpoint,
+                                      const Ipv6Addr& target, std::uint8_t ttl,
+                                      std::uint64_t now_us) {
   wire::ProbeSpec spec;
   spec.src = endpoint.src;
   spec.target = target;
   spec.proto = endpoint.proto;
   spec.ttl = ttl;
-  spec.elapsed_us = static_cast<std::uint32_t>(net.now_us());
+  spec.elapsed_us = static_cast<std::uint32_t>(now_us);
   spec.instance = endpoint.instance;
-  const auto replies = net.inject(wire::encode_probe(spec));
+  return wire::encode_probe(spec);
+}
+
+/// Decode each raw reply at virtual time `now_us`, filter on the endpoint's
+/// instance id, and hand survivors to `on_reply`. Returns true if at least
+/// one reply passed the filter. Templated on the callback so hot paths pay
+/// no std::function construction per probe.
+template <typename ReplyFn>
+bool dispatch_replies(const std::vector<simnet::Packet>& replies,
+                      const Endpoint& endpoint, std::uint64_t now_us,
+                      ReplyFn&& on_reply) {
   bool answered = false;
   for (const auto& r : replies) {
-    const auto dec = wire::decode_reply(r, static_cast<std::uint32_t>(net.now_us()));
+    const auto dec = wire::decode_reply(r, static_cast<std::uint32_t>(now_us));
     if (!dec || dec->probe.instance != endpoint.instance) continue;
     answered = true;
     on_reply(*dec);
   }
   return answered;
+}
+
+/// The one injection contract every campaign path shares: encode the probe
+/// at the current virtual time, inject it, decode each reply and filter on
+/// the endpoint's instance id, handing survivors to `on_reply`. Returns
+/// true if at least one reply passed the filter.
+template <typename ReplyFn>
+bool inject_probe(simnet::Network& net, const Endpoint& endpoint,
+                  const Ipv6Addr& target, std::uint8_t ttl, ReplyFn&& on_reply) {
+  const auto replies =
+      net.inject(encode_probe_at(endpoint, target, ttl, net.now_us()));
+  return dispatch_replies(replies, endpoint, net.now_us(),
+                          std::forward<ReplyFn>(on_reply));
 }
 
 class CampaignRunner {
@@ -91,7 +111,8 @@ class CampaignRunner {
     Endpoint endpoint;
     PacingPolicy pacing;
     ResponseSink sink;
-    std::uint64_t gap_us = 0;        // uniform pacing: per-probe gap
+    double gap_exact_us = 0.0;       // ideal per-probe budget, 1e6/pps
+    double pace_carry = 0.0;         // Bresenham remainder, in [0, 1)
     std::uint64_t due_us = 0;        // next send slot
     std::uint64_t start_us = 0;
     std::uint64_t round_sent = 0;    // burst pacing: probes this round
@@ -109,6 +130,7 @@ class CampaignRunner {
 
   void schedule(std::size_t idx);
   void emit(Member& m, ProbeStats& stats, const Probe& probe);
+  Poll drain_zero_gap_window(Member& m, ProbeStats& stats, const Probe& first);
 
   simnet::Network& net_;
   std::vector<Member> members_;

@@ -25,6 +25,27 @@ MultiVantageResult run_multi_vantage(simnet::Network& net,
     result.collector.on_reply(r);
   };
 
+  if (options.n_threads > 0) {
+    // Parallel backend: one shard per vantage, each over a private replica
+    // of the caller's network. Shard collectors are worker-thread-private
+    // and merge deterministically in vantage order afterwards.
+    std::vector<topology::TraceCollector> collectors(vantages.size());
+    std::vector<campaign::Shard> shards;
+    shards.reserve(vantages.size());
+    for (std::size_t i = 0; i < vantages.size(); ++i) {
+      const auto cfg = make_source(i);
+      shards.push_back({sources.back().get(), cfg.endpoint(), cfg.pacing(),
+                        [&collectors, i](const wire::DecodedReply& r) {
+                          collectors[i].on_reply(r);
+                        }});
+    }
+    campaign::ParallelCampaignRunner parallel{net, options.n_threads};
+    auto merged = parallel.run(shards);
+    result.per_vantage = std::move(merged.per_shard);
+    for (const auto& c : collectors) result.collector.merge(c);
+    return result;
+  }
+
   if (options.interleave) {
     // One event queue: the vantages probe concurrently in virtual time.
     campaign::CampaignRunner runner{net};

@@ -20,10 +20,16 @@
 //                 concurrently in virtual time, k·pps aggregate — the
 //                 truly simultaneous deployment the engine makes
 //                 first-class.
+//   parallel    — n_threads > 0: every vantage runs on its own OS thread
+//                 over a private Network replica (campaign::
+//                 ParallelCampaignRunner), the physically distributed
+//                 deployment. Per-vantage results and the merged collector
+//                 are bit-identical for any thread count.
 #pragma once
 
 #include <vector>
 
+#include "campaign/parallel.hpp"
 #include "campaign/runner.hpp"
 #include "prober/yarrp6.hpp"
 #include "topology/collector.hpp"
@@ -35,6 +41,13 @@ struct MultiVantageOptions {
   /// time. Off by default: sequential scheduling preserves the classic
   /// per-vantage pacing profile (and its rate-limiter interaction).
   bool interleave = false;
+  /// 0: classic schedules above, on the caller's (shared) network. > 0:
+  /// the sharded parallel backend — one worker thread pool of this size,
+  /// one Network replica per vantage (replicated from the caller's
+  /// topology and params; the caller's network state is untouched). The
+  /// thread count changes wall-clock only, never results; `interleave` is
+  /// ignored, as replica shards are independent by construction.
+  unsigned n_threads = 0;
 };
 
 struct MultiVantageResult {

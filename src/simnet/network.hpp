@@ -128,13 +128,27 @@ class Network {
   [[nodiscard]] const NetworkStats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
 
-  /// Reset all dynamic state (buckets, caches, clock) between campaigns.
+  /// Reset all dynamic state between campaigns: buckets, caches, clock,
+  /// stats, learned interfaces, and the per-router fragment-Identification
+  /// counters. After reset() the network is indistinguishable from a
+  /// freshly constructed one, so run → reset → run reproduces byte-for-byte.
   void reset() {
     buckets_.clear();
     nd_negative_cache_.clear();
     now_us_ = 0;
     stats_ = {};
+    iface_router_.clear();
+    frag_id_.clear();
   }
+
+  [[nodiscard]] const NetworkParams& params() const { return params_; }
+
+  /// A fresh Network over the same topology and parameters with pristine
+  /// dynamic state — the per-shard replica parallel campaign backends run
+  /// on. Replicas share nothing mutable: each has its own clock, token
+  /// buckets, caches, and counters, matching the semantics of vantage
+  /// points that never share a router's rate-limit budget with themselves.
+  [[nodiscard]] Network replica() const { return Network(topo_, params_); }
 
   [[nodiscard]] const Topology& topology() const { return topo_; }
 

@@ -1,6 +1,7 @@
 #include "simnet/topology.hpp"
 
 #include <algorithm>
+#include <mutex>
 #include <queue>
 #include <stdexcept>
 
@@ -433,8 +434,11 @@ std::vector<Asn> Topology::as_path(Asn from, Asn to) const {
   if (src >= ases_.size() || dst >= ases_.size()) return {};
   if (src == dst) return {from};
   const std::uint64_t cache_key = (static_cast<std::uint64_t>(src) << 32) | dst;
-  if (const auto it = as_path_cache_.find(cache_key); it != as_path_cache_.end())
-    return it->second;
+  {
+    std::shared_lock lock{as_path_mu_};
+    if (const auto it = as_path_cache_.find(cache_key); it != as_path_cache_.end())
+      return it->second;
+  }
   std::vector<std::int32_t> parent(ases_.size(), -1);
   std::queue<std::uint32_t> q;
   q.push(src);
@@ -456,7 +460,12 @@ std::vector<Asn> Topology::as_path(Asn from, Asn to) const {
     if (v == src) break;
   }
   std::reverse(path.begin(), path.end());
-  as_path_cache_.emplace(cache_key, path);
+  {
+    // Losing a concurrent race just recomputes the same deterministic BFS;
+    // emplace keeps the first insertion either way.
+    std::unique_lock lock{as_path_mu_};
+    as_path_cache_.emplace(cache_key, path);
+  }
   return path;
 }
 

@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -204,7 +205,10 @@ class Topology {
   RadixTrie<Asn> bgp_;
   std::vector<VantageInfo> vantages_;
   std::vector<std::vector<std::uint32_t>> adj_;  // index-based adjacency
-  // BFS results are memoized: the path oracle runs once per probe.
+  // BFS results are memoized: the path oracle runs once per probe. One
+  // Topology is shared by every Network replica of a parallel campaign, so
+  // the memo is guarded (read-mostly; misses recompute deterministically).
+  mutable std::shared_mutex as_path_mu_;
   mutable std::unordered_map<std::uint64_t, std::vector<Asn>> as_path_cache_;
 };
 

@@ -32,6 +32,20 @@ void TraceCollector::on_reply(const wire::DecodedReply& reply,
   }
 }
 
+void TraceCollector::merge(const TraceCollector& other) {
+  for (const auto& [target, tr] : other.traces_) {
+    auto& mine = traces_[target];
+    mine.target = target;
+    for (const auto& [ttl, hop] : tr.hops) mine.hops.emplace(ttl, hop);
+    mine.reached |= tr.reached;
+  }
+  interfaces_.insert(other.interfaces_.begin(), other.interfaces_.end());
+  responders_.insert(other.responders_.begin(), other.responders_.end());
+  te_ += other.te_;
+  non_te_ += other.non_te_;
+  auto_counter_ += other.auto_counter_;
+}
+
 double TraceCollector::reached_fraction() const {
   if (traces_.empty()) return 0.0;
   std::size_t reached = 0;

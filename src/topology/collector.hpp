@@ -68,6 +68,19 @@ class TraceCollector {
   /// prober's count is not at hand).
   void on_reply(const wire::DecodedReply& reply) { on_reply(reply, ++auto_counter_); }
 
+  /// Fold another collector into this one — the reduction step of parallel
+  /// campaigns, where each shard feeds a private collector on its worker
+  /// thread and the shard collectors merge afterwards, in shard order, on
+  /// one thread. Deterministic: merging the same collectors in the same
+  /// order always yields the same state. Traces merge per (target, TTL)
+  /// with this collector's existing hop winning a conflict (mirroring
+  /// on_reply's first-response-per-TTL rule under shard order);
+  /// interface/responder sets union; reply counters sum. The discovery
+  /// curve is left as this collector's own: per-shard curves are sampled
+  /// against per-shard probe counters and do not compose — replay a merged
+  /// reply stream into a fresh collector when a global curve is wanted.
+  void merge(const TraceCollector& other);
+
   [[nodiscard]] const std::unordered_map<Ipv6Addr, Trace, Ipv6AddrHash>& traces() const {
     return traces_;
   }

@@ -1,0 +1,215 @@
+// Determinism suite for the sharded parallel campaign backend: the thread
+// count must never change results (merged stats, per-shard stats, and the
+// (virtual time, shard, arrival)-ordered reply stream are bit-identical at
+// 1/2/8 workers), a parallel run must equal running the shards serially on
+// replicas, and Network::reset() must make run → reset → run byte-identical
+// (the cross-campaign state-leak regression).
+#include "campaign/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <tuple>
+
+#include "prober/multivantage.hpp"
+#include "prober/yarrp6.hpp"
+#include "support/big_echo.hpp"
+
+namespace beholder6::campaign {
+namespace {
+
+class ParallelCampaignTest : public ::testing::Test {
+ protected:
+  ParallelCampaignTest() : topo_(simnet::TopologyParams{}) {}
+
+  std::vector<Ipv6Addr> targets(std::size_t n) {
+    std::vector<Ipv6Addr> out;
+    for (const auto& as : topo_.ases()) {
+      for (const auto& s : topo_.enumerate_subnets(as, 6))
+        out.push_back(s.base() | Ipv6Addr::from_halves(0, 0x1234));
+      if (out.size() >= n) break;
+    }
+    out.resize(std::min(out.size(), n));
+    return out;
+  }
+
+  /// A k-way yarrp6 partition of the (target × TTL) space, one shard per
+  /// cell, plus the sources backing it (kept alive by the caller).
+  struct ShardSet {
+    std::vector<std::unique_ptr<prober::Yarrp6Source>> sources;
+    std::vector<Shard> shards;
+  };
+  ShardSet make_shards(const std::vector<Ipv6Addr>& t, std::uint64_t k) {
+    ShardSet set;
+    for (std::uint64_t i = 0; i < k; ++i) {
+      prober::Yarrp6Config cfg;
+      cfg.src = topo_.vantages()[i % topo_.vantages().size()].src;
+      cfg.pps = 3000;
+      cfg.max_ttl = 10;
+      cfg.fill_mode = true;
+      cfg.shard = i;
+      cfg.shard_count = k;
+      set.sources.push_back(std::make_unique<prober::Yarrp6Source>(cfg, t));
+      set.shards.push_back({set.sources.back().get(), cfg.endpoint(),
+                            cfg.pacing(), {}});
+    }
+    return set;
+  }
+
+  static void expect_identical(const ParallelResult& a, const ParallelResult& b) {
+    EXPECT_EQ(a.per_shard, b.per_shard);
+    EXPECT_EQ(a.per_shard_net, b.per_shard_net);
+    EXPECT_EQ(a.probe_stats, b.probe_stats);
+    EXPECT_EQ(a.net_stats, b.net_stats);
+    EXPECT_EQ(a.elapsed_virtual_us, b.elapsed_virtual_us);
+    ASSERT_EQ(a.replies.size(), b.replies.size());
+    for (std::size_t i = 0; i < a.replies.size(); ++i) {
+      const auto& x = a.replies[i];
+      const auto& y = b.replies[i];
+      ASSERT_EQ(x.virtual_us, y.virtual_us) << "reply " << i;
+      ASSERT_EQ(x.shard, y.shard) << "reply " << i;
+      ASSERT_EQ(x.reply.responder, y.reply.responder) << "reply " << i;
+      ASSERT_EQ(x.reply.type, y.reply.type) << "reply " << i;
+      ASSERT_EQ(x.reply.code, y.reply.code) << "reply " << i;
+      ASSERT_EQ(x.reply.probe.target, y.reply.probe.target) << "reply " << i;
+      ASSERT_EQ(x.reply.probe.ttl, y.reply.probe.ttl) << "reply " << i;
+      ASSERT_EQ(x.reply.rtt_us, y.reply.rtt_us) << "reply " << i;
+    }
+  }
+
+  simnet::Topology topo_;
+};
+
+TEST_F(ParallelCampaignTest, ThreadCountNeverChangesResults) {
+  const auto t = targets(50);
+  // Rate-limited network: bucket state must replicate per shard, not leak.
+  const simnet::NetworkParams params{};
+  std::vector<ParallelResult> results;
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    auto set = make_shards(t, 5);
+    const ParallelCampaignRunner runner{topo_, params, threads};
+    results.push_back(runner.run(set.shards));
+  }
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_GT(results[0].probe_stats.probes_sent, 0u);
+  EXPECT_GT(results[0].replies.size(), 0u);
+  expect_identical(results[0], results[1]);
+  expect_identical(results[0], results[2]);
+}
+
+TEST_F(ParallelCampaignTest, MergedReplyStreamIsTotallyOrdered) {
+  const auto t = targets(40);
+  auto set = make_shards(t, 4);
+  const ParallelCampaignRunner runner{topo_, simnet::NetworkParams{}, 2};
+  const auto result = runner.run(set.shards);
+  ASSERT_GT(result.replies.size(), 1u);
+  for (std::size_t i = 1; i < result.replies.size(); ++i) {
+    const auto& prev = result.replies[i - 1];
+    const auto& cur = result.replies[i];
+    EXPECT_TRUE(prev.virtual_us < cur.virtual_us ||
+                (prev.virtual_us == cur.virtual_us && prev.shard <= cur.shard))
+        << "merge key must be non-decreasing at " << i;
+  }
+}
+
+TEST_F(ParallelCampaignTest, ParallelEqualsSerialReplicaRuns) {
+  const auto t = targets(45);
+  auto parallel_set = make_shards(t, 4);
+  const ParallelCampaignRunner runner{topo_, simnet::NetworkParams{}, 8};
+  const auto parallel = runner.run(parallel_set.shards);
+
+  auto serial_set = make_shards(t, 4);
+  const simnet::Network prototype{topo_, simnet::NetworkParams{}};
+  for (std::size_t i = 0; i < serial_set.shards.size(); ++i) {
+    auto net = prototype.replica();
+    const auto& shard = serial_set.shards[i];
+    const auto stats = CampaignRunner::run_one(net, *shard.source, shard.endpoint,
+                                               shard.pacing);
+    EXPECT_EQ(stats, parallel.per_shard[i]) << "shard " << i;
+    EXPECT_EQ(net.stats(), parallel.per_shard_net[i]) << "shard " << i;
+  }
+  EXPECT_EQ(parallel.net_stats.probes, parallel.probe_stats.probes_sent);
+}
+
+TEST_F(ParallelCampaignTest, MultiVantageParallelIsThreadCountInvariant) {
+  const auto t = targets(40);
+  prober::Yarrp6Config cfg;
+  cfg.pps = 1000;
+  cfg.max_ttl = 10;
+  simnet::Network net{topo_, simnet::NetworkParams{}};
+
+  std::vector<prober::MultiVantageResult> results;
+  for (const unsigned threads : {1u, 2u, 8u})
+    results.push_back(prober::run_multi_vantage(net, topo_.vantages(), t, cfg,
+                                                {.n_threads = threads}));
+  for (std::size_t r = 1; r < results.size(); ++r) {
+    ASSERT_EQ(results[r].per_vantage.size(), results[0].per_vantage.size());
+    for (std::size_t i = 0; i < results[0].per_vantage.size(); ++i)
+      EXPECT_EQ(results[r].per_vantage[i], results[0].per_vantage[i]);
+    EXPECT_EQ(results[r].collector.interfaces(), results[0].collector.interfaces());
+    EXPECT_EQ(results[r].collector.traces().size(),
+              results[0].collector.traces().size());
+    EXPECT_EQ(results[r].collector.te_responses(),
+              results[0].collector.te_responses());
+  }
+  // The caller's network is a prototype only: replicas leave it untouched.
+  EXPECT_EQ(net.stats().probes, 0u);
+  EXPECT_EQ(net.now_us(), 0u);
+}
+
+TEST_F(ParallelCampaignTest, RunResetRunIsByteIdentical) {
+  // Cross-campaign determinism on ONE network: a full campaign (including
+  // learned-interface echoes, whose fragment streams consume the
+  // per-router Identification counters), then reset(), then the same
+  // campaign again must reproduce byte-for-byte. Regression for reset()
+  // leaving iface_router_ and frag_id_ populated.
+  const auto t = targets(30);
+  prober::Yarrp6Config cfg;
+  cfg.src = topo_.vantages()[0].src;
+  cfg.pps = 2000;
+  cfg.max_ttl = 12;
+
+  simnet::Network net{topo_, simnet::NetworkParams{}};
+  const auto campaign = [&] {
+    prober::Yarrp6Source source{cfg, t};
+    std::vector<wire::DecodedReply> replies;
+    const auto stats = CampaignRunner::run_one(
+        net, source, cfg.endpoint(), cfg.pacing(),
+        [&](const wire::DecodedReply& r) { replies.push_back(r); });
+
+    // Alias-probing phase: oversized echoes to every learned interface, in
+    // deterministic address order, recording raw fragment bytes (these
+    // carry the router's Identification counter).
+    std::vector<Ipv6Addr> ifaces;
+    for (const auto& [iface, rid] : net.learned_interfaces()) ifaces.push_back(iface);
+    std::sort(ifaces.begin(), ifaces.end());
+    std::vector<simnet::Packet> frags;
+    for (const auto& iface : ifaces)
+      for (auto& f : net.inject(test_support::make_big_echo(cfg.src, iface)))
+        frags.push_back(std::move(f));
+    return std::tuple{stats, replies, frags, net.stats(), net.now_us()};
+  };
+
+  const auto first = campaign();
+  ASSERT_FALSE(net.learned_interfaces().empty());
+  ASSERT_GT(std::get<2>(first).size(), 0u) << "no fragmented echoes elicited";
+
+  net.reset();
+  EXPECT_TRUE(net.learned_interfaces().empty())
+      << "reset() must forget learned interfaces";
+  EXPECT_EQ(net.now_us(), 0u);
+  EXPECT_EQ(net.stats(), simnet::NetworkStats{});
+
+  const auto second = campaign();
+  EXPECT_EQ(std::get<0>(first), std::get<0>(second));  // ProbeStats
+  EXPECT_EQ(std::get<3>(first), std::get<3>(second));  // NetworkStats
+  EXPECT_EQ(std::get<4>(first), std::get<4>(second));  // virtual clock
+  ASSERT_EQ(std::get<1>(first).size(), std::get<1>(second).size());
+  // The fragment byte streams embed the Identification counters: any
+  // cross-campaign leak shifts them.
+  EXPECT_EQ(std::get<2>(first), std::get<2>(second));
+}
+
+}  // namespace
+}  // namespace beholder6::campaign

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "simnet/token_bucket.hpp"
+#include "support/big_echo.hpp"
 #include "wire/probe.hpp"
 
 namespace beholder6::simnet {
@@ -347,6 +348,34 @@ TEST_F(NetworkTest, SilentHopsLeaveGapsButDeeperHopsStillAnswer) {
   for (std::uint8_t ttl = 1; ttl <= path.hops.size(); ++ttl)
     answered += !net.inject(wire::encode_probe(spec_for(target, ttl))).empty();
   EXPECT_EQ(answered, path.hops.size() - 1);
+}
+
+TEST_F(NetworkTest, ResetClearsLearnedInterfacesAndFragmentCounters) {
+  // Regression: reset() claimed to clear "all dynamic state" but left the
+  // learned-interface map and the per-router fragment-Identification
+  // counters behind, leaking them into the next campaign.
+  const auto s = some_subnet();
+  const auto target = Ipv6Addr::from_halves(s.base().hi(), 0x999);
+  ASSERT_TRUE(probe(target, 2));
+  ASSERT_FALSE(net_.learned_interfaces().empty());
+  const auto iface = net_.learned_interfaces().begin()->first;
+
+  // Oversized echo to the learned interface: the reply fragments, and the
+  // fragment headers embed the router's Identification counter.
+  auto big_echo = [&] {
+    return net_.inject(test_support::make_big_echo(topo_.vantages()[0].src, iface));
+  };
+  const auto first = big_echo();
+  ASSERT_GT(first.size(), 1u) << "oversized echo must fragment";
+
+  net_.reset();
+  EXPECT_TRUE(net_.learned_interfaces().empty())
+      << "reset() must forget learned interfaces";
+
+  // Re-learn and repeat: a truly reset network reproduces the first
+  // campaign byte-for-byte, fragment Identifications included.
+  ASSERT_TRUE(probe(target, 2));
+  EXPECT_EQ(big_echo(), first);
 }
 
 }  // namespace

@@ -1,0 +1,37 @@
+// tests/support/big_echo.hpp — shared builder for an oversized ICMPv6 echo
+// request. The reply exceeds the minimum MTU, so a router answering for a
+// learned interface must fragment it — and the fragment headers embed the
+// router's Identification counter, which is what the cross-campaign
+// reset() regression tests compare byte-for-byte.
+#pragma once
+
+#include <cstdint>
+
+#include "simnet/network.hpp"
+#include "wire/headers.hpp"
+
+namespace beholder6::test_support {
+
+inline simnet::Packet make_big_echo(const Ipv6Addr& src, const Ipv6Addr& dst,
+                                    std::size_t payload_size = 1400,
+                                    std::uint16_t seq = 1) {
+  simnet::Packet pkt;
+  wire::Ipv6Header ip;
+  ip.next_header = static_cast<std::uint8_t>(wire::Proto::kIcmp6);
+  ip.hop_limit = 64;
+  ip.src = src;
+  ip.dst = dst;
+  ip.payload_length =
+      static_cast<std::uint16_t>(wire::Icmp6Header::kSize + payload_size);
+  ip.encode(pkt);
+  wire::Icmp6Header icmp;
+  icmp.type = wire::Icmp6Type::kEchoRequest;
+  icmp.id = 0x7e57;
+  icmp.seq = seq;
+  icmp.encode(pkt);
+  pkt.resize(pkt.size() + payload_size, 0x42);
+  wire::finalize_transport_checksum(pkt);
+  return pkt;
+}
+
+}  // namespace beholder6::test_support
