@@ -1,0 +1,316 @@
+// hotpath — the canonical probes/sec microbench over the Table 7 workload,
+// and the perf-regression baseline every PR defends.
+//
+// The workload is exactly bench_table7_campaigns' probing phase: every
+// (seed set × z48/z64 × vantage) yarrp6 campaign (pps 1000, 16 TTLs, fill
+// mode) run as shards of a ParallelCampaignRunner, each feeding a
+// shard-private TraceCollector. Three measurements:
+//
+//   legacy  — the pre-PR pipeline shape on today's code: route cache
+//             disabled (every probe re-resolves its path) and the merged
+//             global reply stream collected and sorted (pre-PR had no way
+//             to opt out). Kept alive by the compatibility shims, so the
+//             comparison stays honest as the fast path evolves;
+//   fast    — the current engine: route cache, pooled packet buffers,
+//             span inject, collectors only (1 worker thread);
+//   threads — the fast configuration at 1/2/8 worker threads.
+//
+// It also *verifies* the zero-allocation claim: a global operator
+// new/delete hook counts heap allocations across a steady-state window
+// (second pass over an already-warm Network), and the bench exits nonzero
+// if even one probe allocates. CI runs this in Release and fails on a
+// crash or malformed BENCH_hotpath.json — never on absolute numbers,
+// which are machine-dependent.
+//
+// The pre-PR baseline recorded in the JSON was measured at commit 32f3281
+// (before the route cache / packet pools / FlatMap collector): the same
+// probing phase, same workload, same machine as the committed numbers.
+//
+// Usage: bench_hotpath [scale] [out.json]   (defaults: 0.6 BENCH_hotpath.json)
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <new>
+
+#include "bench/common.hpp"
+#include "campaign/parallel.hpp"
+#include "campaign/runner.hpp"
+#include "prober/yarrp6.hpp"
+#include "topology/collector.hpp"
+
+// ---- Allocation-counting hook ----------------------------------------------
+// Replaces the global allocator for this binary only. Relaxed atomics: the
+// threads sweep allocates from worker threads, and we only read the
+// counters between phases.
+
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+std::atomic<std::uint64_t> g_alloc_bytes{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(n, std::memory_order_relaxed);
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t n) { return operator new(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+// Over-aligned variants: alignas(64) route-cache slots and the 2 MB
+// huge-page tables (netbase::HugePageAllocator) allocate through these, so
+// they must count too or regressions in those paths would be invisible.
+void* operator new(std::size_t n, std::align_val_t al) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(n, std::memory_order_relaxed);
+  const auto a = static_cast<std::size_t>(al);
+  const std::size_t padded = (n + a - 1) & ~(a - 1);
+  if (void* p = std::aligned_alloc(a, padded)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t n, std::align_val_t al) {
+  return operator new(n, al);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace {
+
+using namespace beholder6;
+using Clock = std::chrono::steady_clock;
+
+/// Probes/sec the pre-PR code sustained on this workload (see header).
+constexpr double kPrePrBaselineProbesPerSec = 180563.0;
+
+double secs_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// One Table 7 campaign shard: a yarrp6 walk of one synthesized set from
+/// one vantage, feeding a private collector — bench_table7's configuration.
+struct Job {
+  prober::Yarrp6Config cfg;
+  std::unique_ptr<prober::Yarrp6Source> source;
+  topology::TraceCollector collector;
+};
+
+std::vector<Job> make_jobs(const bench::World& world,
+                           const std::vector<bench::NamedSet>& sets) {
+  std::vector<Job> jobs;
+  for (const auto& ns : sets) {
+    for (const auto& vantage : world.topo.vantages()) {
+      Job job;
+      job.cfg.src = vantage.src;
+      job.cfg.pps = 1000;
+      job.cfg.max_ttl = 16;
+      job.cfg.fill_mode = true;
+      job.source = std::make_unique<prober::Yarrp6Source>(job.cfg, ns.set.addrs);
+      jobs.push_back(std::move(job));
+    }
+  }
+  return jobs;
+}
+
+struct Measured {
+  std::uint64_t probes = 0;
+  double seconds = 0.0;
+  simnet::NetworkStats net_stats;
+
+  [[nodiscard]] double pps() const {
+    return seconds > 0 ? static_cast<double>(probes) / seconds : 0.0;
+  }
+};
+
+/// Run the Table 7 probing phase and time it.
+Measured run_pipeline(const bench::World& world,
+                      const std::vector<bench::NamedSet>& sets,
+                      const simnet::NetworkParams& params, unsigned threads,
+                      bool collect_replies) {
+  auto jobs = make_jobs(world, sets);
+  std::vector<campaign::Shard> shards;
+  shards.reserve(jobs.size());
+  for (auto& j : jobs)
+    shards.push_back({j.source.get(), j.cfg.endpoint(), j.cfg.pacing(),
+                      [&j](const wire::DecodedReply& r) { j.collector.on_reply(r); }});
+  const campaign::ParallelCampaignRunner runner{world.topo, params, threads};
+  Measured m;
+  const auto t0 = Clock::now();
+  const auto result = runner.run(shards, {.collect_replies = collect_replies});
+  m.seconds = secs_since(t0);
+  m.probes = result.net_stats.probes;
+  m.net_stats = result.net_stats;
+  return m;
+}
+
+struct AllocCheck {
+  std::uint64_t probes = 0;
+  std::uint64_t allocations = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Verify the zero-allocation steady state: warm a Network with one full
+/// pass of a probe set (populating the route cache, token buckets, learned
+/// interfaces and negative caches), then count heap allocations across an
+/// identical second pass through inject_view.
+AllocCheck check_steady_state_allocations(const bench::World& world) {
+  const auto ns = world.synth(world.seed_lists.front().name, 64);
+  const auto& vantage = world.topo.vantages()[0];
+  prober::Yarrp6Config cfg;
+  cfg.src = vantage.src;
+  const auto endpoint = cfg.endpoint();
+
+  std::vector<simnet::Packet> probes;
+  const std::size_t n_targets = std::min<std::size_t>(ns.set.addrs.size(), 4000);
+  probes.reserve(n_targets * 16);
+  for (std::size_t i = 0; i < n_targets; ++i)
+    for (std::uint8_t ttl = 1; ttl <= 16; ++ttl)
+      probes.push_back(campaign::encode_probe_at(endpoint, ns.set.addrs[i], ttl,
+                                                 ttl * 1000));
+
+  simnet::Network net{world.topo};
+  auto sweep = [&] {
+    for (const auto& p : probes) {
+      net.inject_view(p);
+      net.advance_us(1000);
+    }
+  };
+  sweep();  // warm-up: every cache/pool/table reaches steady state
+
+  AllocCheck check;
+  check.probes = probes.size();
+  const auto allocs0 = g_allocs.load(std::memory_order_relaxed);
+  const auto bytes0 = g_alloc_bytes.load(std::memory_order_relaxed);
+  sweep();  // measured steady-state window
+  check.allocations = g_allocs.load(std::memory_order_relaxed) - allocs0;
+  check.bytes = g_alloc_bytes.load(std::memory_order_relaxed) - bytes0;
+  return check;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.6;
+  const char* out_path = argc > 2 ? argv[2] : "BENCH_hotpath.json";
+
+  bench::World world{scale};
+  const auto sets = world.all_sets(/*include_random=*/false);
+  std::uint64_t n_targets = 0;
+  for (const auto& ns : sets) n_targets += ns.set.addrs.size();
+  std::fprintf(stderr, "hotpath: scale %.2f, %zu campaigns over %llu targets\n",
+               scale, sets.size() * world.topo.vantages().size(),
+               static_cast<unsigned long long>(n_targets));
+
+  const auto alloc_check = check_steady_state_allocations(world);
+  std::fprintf(stderr, "steady state: %llu probes, %llu allocations\n",
+               static_cast<unsigned long long>(alloc_check.probes),
+               static_cast<unsigned long long>(alloc_check.allocations));
+
+  simnet::NetworkParams legacy_params;
+  legacy_params.route_cache_entries = 0;  // pre-PR: re-resolve every probe
+  const auto legacy =
+      run_pipeline(world, sets, legacy_params, 1, /*collect_replies=*/true);
+  std::fprintf(stderr, "legacy: %.0f probes/sec\n", legacy.pps());
+
+  const auto fast =
+      run_pipeline(world, sets, simnet::NetworkParams{}, 1, /*collect=*/false);
+  std::fprintf(stderr, "fast:   %.0f probes/sec (%.2fx legacy, %.2fx pre-PR)\n",
+               fast.pps(), fast.pps() / legacy.pps(),
+               fast.pps() / kPrePrBaselineProbesPerSec);
+
+  struct SweepPoint {
+    unsigned threads;
+    Measured m;
+  };
+  std::vector<SweepPoint> sweep;
+  sweep.push_back({1, fast});
+  for (const unsigned threads : {2u, 8u}) {
+    sweep.push_back(
+        {threads, run_pipeline(world, sets, simnet::NetworkParams{}, threads,
+                               /*collect=*/false)});
+    std::fprintf(stderr, "threads %u: %.0f probes/sec\n", threads,
+                 sweep.back().m.pps());
+  }
+
+  const auto hits = fast.net_stats.route_cache_hits;
+  const auto misses = fast.net_stats.route_cache_misses;
+  const double hit_rate =
+      hits + misses ? static_cast<double>(hits) / static_cast<double>(hits + misses)
+                    : 0.0;
+
+  std::FILE* out = std::fopen(out_path, "w");
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"bench\": \"hotpath\",\n");
+  std::fprintf(out,
+               "  \"workload\": {\"name\": \"table7_probing_phase\", \"scale\": %g, "
+               "\"campaigns\": %zu, \"targets\": %llu, \"pps\": 1000, "
+               "\"max_ttl\": 16, \"fill_mode\": true, \"collector_sinks\": true},\n",
+               scale, sets.size() * world.topo.vantages().size(),
+               static_cast<unsigned long long>(n_targets));
+  std::fprintf(out,
+               "  \"pre_pr_baseline\": {\"probes_per_sec\": %.0f, \"note\": "
+               "\"commit 32f3281 (before route cache, packet pools, FlatMap "
+               "state); identical probing phase, scale 0.6, same machine as "
+               "the committed numbers — compare like scales and machines "
+               "only\"},\n",
+               kPrePrBaselineProbesPerSec);
+  std::fprintf(out,
+               "  \"legacy_path\": {\"desc\": \"pre-PR pipeline shape on "
+               "today's code: route cache off + merged reply stream\", "
+               "\"probes\": %llu, \"seconds\": %.3f, \"probes_per_sec\": %.0f},\n",
+               static_cast<unsigned long long>(legacy.probes), legacy.seconds,
+               legacy.pps());
+  std::fprintf(out,
+               "  \"fast_path\": {\"desc\": \"route cache + packet pools + span "
+               "inject + flat collector state\", \"probes\": %llu, \"seconds\": "
+               "%.3f, \"probes_per_sec\": %.0f, \"route_cache_hits\": %llu, "
+               "\"route_cache_misses\": %llu, \"hit_rate\": %.4f},\n",
+               static_cast<unsigned long long>(fast.probes), fast.seconds,
+               fast.pps(), static_cast<unsigned long long>(hits),
+               static_cast<unsigned long long>(misses), hit_rate);
+  std::fprintf(out, "  \"speedup_vs_legacy\": %.2f,\n", fast.pps() / legacy.pps());
+  std::fprintf(out, "  \"speedup_vs_pre_pr_baseline\": %.2f,\n",
+               fast.pps() / kPrePrBaselineProbesPerSec);
+  std::fprintf(out, "  \"threads_sweep\": [");
+  for (std::size_t i = 0; i < sweep.size(); ++i)
+    std::fprintf(out,
+                 "%s{\"threads\": %u, \"probes\": %llu, \"seconds\": %.3f, "
+                 "\"probes_per_sec\": %.0f}",
+                 i ? ", " : "", sweep[i].threads,
+                 static_cast<unsigned long long>(sweep[i].m.probes),
+                 sweep[i].m.seconds, sweep[i].m.pps());
+  std::fprintf(out, "],\n");
+  std::fprintf(out,
+               "  \"steady_state_allocations\": {\"probes\": %llu, "
+               "\"allocations\": %llu, \"bytes\": %llu}\n",
+               static_cast<unsigned long long>(alloc_check.probes),
+               static_cast<unsigned long long>(alloc_check.allocations),
+               static_cast<unsigned long long>(alloc_check.bytes));
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::fprintf(stderr, "wrote %s\n", out_path);
+
+  if (alloc_check.allocations != 0) {
+    std::fprintf(stderr,
+                 "FAIL: steady-state inject path allocated %llu times over %llu "
+                 "probes (must be zero)\n",
+                 static_cast<unsigned long long>(alloc_check.allocations),
+                 static_cast<unsigned long long>(alloc_check.probes));
+    return 1;
+  }
+  return 0;
+}

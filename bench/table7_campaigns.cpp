@@ -125,7 +125,9 @@ int main(int argc, char** argv) {
                       [&j](const wire::DecodedReply& r) { j.collector.on_reply(r); }});
   const campaign::ParallelCampaignRunner runner{world.topo, simnet::NetworkParams{},
                                                 n_threads};
-  const auto parallel = runner.run(shards);
+  // Rows consume per-shard stats and collectors only — skip the merged
+  // global reply stream and its serial sort.
+  const auto parallel = runner.run(shards, {.collect_replies = false});
 
   std::vector<CampaignRow> rows;
   CampaignRow all;

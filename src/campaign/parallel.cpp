@@ -8,7 +8,8 @@
 
 namespace beholder6::campaign {
 
-ParallelResult ParallelCampaignRunner::run(const std::vector<Shard>& shards) const {
+ParallelResult ParallelCampaignRunner::run(const std::vector<Shard>& shards,
+                                           ParallelRunOptions options) const {
   ParallelResult result;
   result.per_shard.resize(shards.size());
   result.per_shard_net.resize(shards.size());
@@ -22,12 +23,16 @@ ParallelResult ParallelCampaignRunner::run(const std::vector<Shard>& shards) con
     simnet::Network net{topo_, params_};
     auto& stream = streams[i];
     CampaignRunner runner{net};
-    runner.add(*shard.source, shard.endpoint, shard.pacing,
-               [&](const wire::DecodedReply& r) {
-                 stream.push_back(
-                     {net.now_us(), static_cast<std::uint32_t>(i), r});
-                 if (shard.sink) shard.sink(r);
-               });
+    if (options.collect_replies) {
+      runner.add(*shard.source, shard.endpoint, shard.pacing,
+                 [&](const wire::DecodedReply& r) {
+                   stream.push_back(
+                       {net.now_us(), static_cast<std::uint32_t>(i), r});
+                   if (shard.sink) shard.sink(r);
+                 });
+    } else {
+      runner.add(*shard.source, shard.endpoint, shard.pacing, shard.sink);
+    }
     result.per_shard[i] = runner.run()[0];
     result.per_shard_net[i] = net.stats();
   };

@@ -64,6 +64,16 @@ struct ParallelResult {
   std::uint64_t elapsed_virtual_us = 0;
 };
 
+/// Knobs for one ParallelCampaignRunner::run invocation.
+struct ParallelRunOptions {
+  /// Collect the deterministically merged global reply stream. Campaigns
+  /// that consume only per-shard sinks and stats can turn this off to skip
+  /// the per-reply recording and the serial merge sort entirely
+  /// (ParallelResult::replies comes back empty; everything else is
+  /// unchanged and still bit-identical across thread counts).
+  bool collect_replies = true;
+};
+
 class ParallelCampaignRunner {
  public:
   /// Shards run over replicas of Network(topo, params). `n_threads` = 0
@@ -84,7 +94,8 @@ class ParallelCampaignRunner {
 
   /// Drive every shard to exhaustion and merge. Sources must be distinct
   /// objects (each is polled from its own worker thread).
-  [[nodiscard]] ParallelResult run(const std::vector<Shard>& shards) const;
+  [[nodiscard]] ParallelResult run(const std::vector<Shard>& shards,
+                                   ParallelRunOptions options = {}) const;
 
   [[nodiscard]] unsigned n_threads() const { return n_threads_; }
 

@@ -19,13 +19,16 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 
 #include "netbase/ipv6.hpp"
 #include "wire/probe.hpp"
 
 namespace beholder6::campaign {
 
-/// Called for every decoded reply, in arrival order.
+/// Called for every decoded reply, in arrival order. Runs during reply
+/// dispatch over the network's pooled reply buffers, so a sink must not
+/// inject into the campaign's own Network (observe, record, steer — fine).
 using ResponseSink = std::function<void(const wire::DecodedReply&)>;
 
 /// What a probing campaign reports about itself.
@@ -127,6 +130,15 @@ class ProbeSource {
   /// Merge source-private counters (trace counts, skip counters) into the
   /// campaign stats once the source is exhausted.
   virtual void finish(ProbeStats& stats) const { (void)stats; }
+
+  /// Best guess at the *next* probe's target, if cheaply known. Purely a
+  /// memory-latency hint: the runner uses it to warm the network's route
+  /// lookup one probe ahead, so a wrong (or absent) guess costs nothing
+  /// and changes nothing. Sources whose next target depends on pending
+  /// feedback may simply return their most likely candidate.
+  [[nodiscard]] virtual std::optional<Ipv6Addr> next_target_hint() const {
+    return std::nullopt;
+  }
 };
 
 }  // namespace beholder6::campaign

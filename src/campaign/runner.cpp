@@ -48,13 +48,22 @@ void CampaignRunner::schedule(std::size_t idx) {
 void CampaignRunner::emit(Member& m, ProbeStats& stats, const Probe& probe) {
   ++stats.probes_sent;
   if (probe.fill) ++stats.fills;
-  const bool answered = inject_probe(
-      net_, m.endpoint, probe.target, probe.ttl, [&](const wire::DecodedReply& dec) {
+  wire::encode_probe_into(
+      probe_spec_at(m.endpoint, probe.target, probe.ttl, net_.now_us()),
+      probe_buf_);
+  const auto replies = net_.inject_view(probe_buf_);
+  const bool answered = dispatch_replies(
+      replies, m.endpoint, net_.now_us(), [&](const wire::DecodedReply& dec) {
         ++stats.replies;
         if (m.sink) m.sink(dec);
         m.source->on_reply(probe, dec, net_.now_us());
       });
   m.source->on_probe_done(probe, answered, net_.now_us());
+  // Warm the network's route lookup for the source's likely next probe —
+  // the feedback above has settled, so the hint is as good as it gets. A
+  // latency hint only: results never depend on it.
+  if (const auto hint = m.source->next_target_hint())
+    net_.prime_route(m.endpoint.src, *hint, m.endpoint.proto);
 }
 
 Poll CampaignRunner::drain_zero_gap_window(Member& m, ProbeStats& stats,
@@ -68,33 +77,35 @@ Poll CampaignRunner::drain_zero_gap_window(Member& m, ProbeStats& stats,
   // to the probe-at-a-time path (inject_batch is semantically a loop of
   // inject); only the feedback timing moves, and that is the defined
   // semantics of a same-instant burst.
-  std::vector<Probe> window{first};
+  window_buf_.clear();
+  window_buf_.push_back(first);
   Poll terminal;
   for (;;) {
     terminal = m.source->next(net_.now_us());
     if (terminal.status != Poll::Status::kProbe) break;
-    window.push_back(terminal.probe);
+    window_buf_.push_back(terminal.probe);
   }
 
-  std::vector<simnet::Packet> packets;
-  packets.reserve(window.size());
-  for (const auto& p : window)
-    packets.push_back(encode_probe_at(m.endpoint, p.target, p.ttl, net_.now_us()));
-  const auto replies = net_.inject_batch(packets);
+  window_packets_.clear();
+  for (const auto& p : window_buf_)
+    wire::encode_probe_into(
+        probe_spec_at(m.endpoint, p.target, p.ttl, net_.now_us()),
+        window_packets_.acquire());
+  const auto& replies = net_.inject_batch_view(window_packets_.view());
 
-  for (std::size_t i = 0; i < window.size(); ++i) {
-    const auto& probe = window[i];
+  for (std::size_t i = 0; i < window_buf_.size(); ++i) {
+    const auto& probe = window_buf_[i];
     ++stats.probes_sent;
     if (probe.fill) ++stats.fills;
     const bool answered = dispatch_replies(
-        replies[i], m.endpoint, net_.now_us(), [&](const wire::DecodedReply& dec) {
+        replies.of(i), m.endpoint, net_.now_us(), [&](const wire::DecodedReply& dec) {
           ++stats.replies;
           if (m.sink) m.sink(dec);
           m.source->on_reply(probe, dec, net_.now_us());
         });
     m.source->on_probe_done(probe, answered, net_.now_us());
   }
-  m.round_sent += window.size();
+  m.round_sent += window_buf_.size();
   return terminal;
 }
 

@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <queue>
+#include <span>
 #include <vector>
 
 #include "campaign/probe_source.hpp"
@@ -29,11 +30,11 @@
 
 namespace beholder6::campaign {
 
-/// Encode one probe with the endpoint's wire identity at virtual time
-/// `now_us` — the byte layout every campaign injection path shares.
-inline simnet::Packet encode_probe_at(const Endpoint& endpoint,
-                                      const Ipv6Addr& target, std::uint8_t ttl,
-                                      std::uint64_t now_us) {
+/// The wire identity of one probe at virtual time `now_us` — the spec
+/// every campaign injection path shares.
+inline wire::ProbeSpec probe_spec_at(const Endpoint& endpoint,
+                                     const Ipv6Addr& target, std::uint8_t ttl,
+                                     std::uint64_t now_us) {
   wire::ProbeSpec spec;
   spec.src = endpoint.src;
   spec.target = target;
@@ -41,15 +42,24 @@ inline simnet::Packet encode_probe_at(const Endpoint& endpoint,
   spec.ttl = ttl;
   spec.elapsed_us = static_cast<std::uint32_t>(now_us);
   spec.instance = endpoint.instance;
-  return wire::encode_probe(spec);
+  return spec;
+}
+
+/// Allocating convenience: encode one probe with the endpoint's wire
+/// identity. The runner's hot loop encodes into a reused buffer instead.
+inline simnet::Packet encode_probe_at(const Endpoint& endpoint,
+                                      const Ipv6Addr& target, std::uint8_t ttl,
+                                      std::uint64_t now_us) {
+  return wire::encode_probe(probe_spec_at(endpoint, target, ttl, now_us));
 }
 
 /// Decode each raw reply at virtual time `now_us`, filter on the endpoint's
 /// instance id, and hand survivors to `on_reply`. Returns true if at least
 /// one reply passed the filter. Templated on the callback so hot paths pay
-/// no std::function construction per probe.
+/// no std::function construction per probe. The span may view the network's
+/// reply pool, so `on_reply` must not inject into that network.
 template <typename ReplyFn>
-bool dispatch_replies(const std::vector<simnet::Packet>& replies,
+bool dispatch_replies(std::span<const simnet::Packet> replies,
                       const Endpoint& endpoint, std::uint64_t now_us,
                       ReplyFn&& on_reply) {
   bool answered = false;
@@ -70,7 +80,7 @@ template <typename ReplyFn>
 bool inject_probe(simnet::Network& net, const Endpoint& endpoint,
                   const Ipv6Addr& target, std::uint8_t ttl, ReplyFn&& on_reply) {
   const auto replies =
-      net.inject(encode_probe_at(endpoint, target, ttl, net.now_us()));
+      net.inject_view(encode_probe_at(endpoint, target, ttl, net.now_us()));
   return dispatch_replies(replies, endpoint, net.now_us(),
                           std::forward<ReplyFn>(on_reply));
 }
@@ -137,6 +147,11 @@ class CampaignRunner {
   std::vector<ProbeStats> stats_;
   std::priority_queue<Slot, std::vector<Slot>, std::greater<Slot>> queue_;
   std::uint64_t seq_ = 0;
+  // Per-runner scratch: probe encoding and burst windows reuse these
+  // buffers, so the steady-state emit path allocates nothing.
+  simnet::Packet probe_buf_;
+  std::vector<Probe> window_buf_;
+  simnet::PacketPool window_packets_;
 };
 
 }  // namespace beholder6::campaign

@@ -40,7 +40,8 @@ MultiVantageResult run_multi_vantage(simnet::Network& net,
                         }});
     }
     campaign::ParallelCampaignRunner parallel{net, options.n_threads};
-    auto merged = parallel.run(shards);
+    // Replies flow through the per-shard collectors; skip the merged stream.
+    auto merged = parallel.run(shards, {.collect_replies = false});
     result.per_vantage = std::move(merged.per_shard);
     for (const auto& c : collectors) result.collector.merge(c);
     return result;

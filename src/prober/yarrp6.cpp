@@ -38,8 +38,25 @@ campaign::Poll Yarrp6Source::next(std::uint64_t now_us) {
   }
 
   while (index_ < domain_) {
-    const std::uint64_t v = perm_->map(index_);
+    std::uint64_t v;
+    if (pending_valid_) {
+      v = pending_v_;
+      pending_valid_ = false;
+    } else {
+      v = perm_->map(index_);
+    }
     index_ += stride_;
+    if (index_ < domain_) {
+      // Resolve the *next* permuted position now and start pulling its
+      // target line: the permuted walk visits targets in random order over
+      // arrays far larger than caches naturally hold, and a prefetch
+      // issued a whole probe early is free to complete in the background.
+      // The value also feeds next_target_hint(), which lets the campaign
+      // runner warm the network's route lookup the same way.
+      pending_v_ = perm_->map(index_);
+      pending_valid_ = true;
+      __builtin_prefetch(&targets_[pending_v_ / cfg_.max_ttl]);
+    }
     const auto& target = targets_[v / cfg_.max_ttl];
     const auto ttl = static_cast<std::uint8_t>(v % cfg_.max_ttl + 1);
 
@@ -81,6 +98,14 @@ void Yarrp6Source::on_probe_done(const campaign::Probe& probe, bool answered,
 void Yarrp6Source::finish(campaign::ProbeStats& stats) const {
   stats.traces = targets_.size();
   stats.neighborhood_skips = skips_;
+}
+
+std::optional<Ipv6Addr> Yarrp6Source::next_target_hint() const {
+  // A pending fill supersedes the permuted walk; otherwise the look-ahead
+  // position already resolved in next() names the likely next target.
+  if (fill_pending_) return fill_target_;
+  if (pending_valid_) return targets_[pending_v_ / cfg_.max_ttl];
+  return std::nullopt;
 }
 
 ProbeStats Yarrp6Prober::run(simnet::Network& net, const std::vector<Ipv6Addr>& targets,

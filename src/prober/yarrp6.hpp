@@ -63,6 +63,7 @@ class Yarrp6Source final : public campaign::ProbeSource {
   void on_probe_done(const campaign::Probe& probe, bool answered,
                      std::uint64_t now_us) override;
   void finish(campaign::ProbeStats& stats) const override;
+  [[nodiscard]] std::optional<Ipv6Addr> next_target_hint() const override;
 
  private:
   Yarrp6Config cfg_;
@@ -77,6 +78,10 @@ class Yarrp6Source final : public campaign::ProbeSource {
   Ipv6Addr fill_target_;
   std::uint8_t fill_ttl_ = 0;
   bool still_on_path_ = false;  // last reply was Time Exceeded
+  // Look-ahead state: the next permuted position, resolved one poll early
+  // so its target line is in cache (and hintable) before it is needed.
+  bool pending_valid_ = false;
+  std::uint64_t pending_v_ = 0;
   // Neighborhood-mode bookkeeping, indexed by TTL.
   std::uint64_t skips_ = 0;
   std::vector<std::uint64_t> last_new_us_;

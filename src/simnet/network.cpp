@@ -1,5 +1,7 @@
 #include "simnet/network.hpp"
 
+#include <cassert>
+
 #include "netbase/rng.hpp"
 #include "wire/fragment.hpp"
 #include "wire/headers.hpp"
@@ -45,34 +47,66 @@ bool Network::consume_token(std::uint64_t router_id) {
   return false;
 }
 
-std::uint64_t Network::flow_hash_of(const Packet& probe) {
+std::uint64_t Network::flow_hash_of(const Ipv6Header& ip,
+                                    std::span<const std::uint8_t> transport) {
   // Per-flow ECMP key. Routers hash addresses, the flow label, and the
   // leading transport bytes. Crucially for ICMPv6 the checksum (transport
   // bytes 2..4) participates — the behaviour the paper's checksum fudge is
   // designed to neutralize.
-  const auto ip = Ipv6Header::decode(probe);
   std::uint64_t hsh = 1469598103934665603ULL;
   auto mix = [&hsh](std::uint8_t b) { hsh ^= b; hsh *= 1099511628211ULL; };
-  for (auto b : ip->src.bytes()) mix(b);
-  for (auto b : ip->dst.bytes()) mix(b);
-  mix(static_cast<std::uint8_t>(ip->flow_label >> 16));
-  mix(static_cast<std::uint8_t>(ip->flow_label >> 8));
-  mix(static_cast<std::uint8_t>(ip->flow_label));
-  mix(ip->next_header);
-  const auto transport = std::span(probe).subspan(Ipv6Header::kSize);
-  const std::size_t n = static_cast<Proto>(ip->next_header) == Proto::kIcmp6
+  for (auto b : ip.src.bytes()) mix(b);
+  for (auto b : ip.dst.bytes()) mix(b);
+  mix(static_cast<std::uint8_t>(ip.flow_label >> 16));
+  mix(static_cast<std::uint8_t>(ip.flow_label >> 8));
+  mix(static_cast<std::uint8_t>(ip.flow_label));
+  mix(ip.next_header);
+  const std::size_t n = static_cast<Proto>(ip.next_header) == Proto::kIcmp6
                             ? 8   // type, code, checksum, id, seq
                             : 4;  // ports
   for (std::size_t i = 0; i < n && i < transport.size(); ++i) mix(transport[i]);
   return hsh;
 }
 
-Packet Network::make_icmp_error(const Ipv6Addr& from, const Ipv6Addr& to,
-                                std::uint8_t type, std::uint8_t code,
-                                const Packet& quoted) const {
+RouteCache::Resolved Network::resolve_path(const VantageInfo& vantage,
+                                           const Ipv6Header& ip,
+                                           std::uint64_t flow_hash) {
+  if (params_.route_cache_entries == 0) {
+    uncached_path_ = topo_.path(vantage, ip.dst, flow_hash, ip.next_header);
+    uncached_hops_.clear();
+    for (const auto& hop : uncached_path_.hops)
+      uncached_hops_.push_back({hop.iface, hop.router_id});
+    return RouteCache::Resolved{
+        uncached_hops_.data(), static_cast<std::uint32_t>(uncached_hops_.size()),
+        RouteCache::CompactHop{}, false, uncached_path_.end,
+        uncached_path_.firewall_code, uncached_path_.dest_asn};
+  }
+  const auto vidx =
+      static_cast<std::uint64_t>(&vantage - topo_.vantages().data());
+  const RouteKey key{ip.dst.hi(),
+                     (vidx << 16) |
+                         (static_cast<std::uint64_t>(ip.next_header) << 8) |
+                         (flow_hash % kEcmpVariantPeriod)};
+  if (const auto hit = route_cache_.find(key)) {
+    ++stats_.route_cache_hits;
+    return *hit;
+  }
+  ++stats_.route_cache_misses;
+  // Deterministic eviction: clear whole. Replies are a function of the
+  // probe sequence alone either way (a cached path equals the recomputed
+  // one); the capacity is sized so campaigns stay inside it.
+  if (route_cache_.size() >= params_.route_cache_entries) route_cache_.clear();
+  return route_cache_.insert(key,
+                             topo_.path(vantage, ip.dst, flow_hash, ip.next_header));
+}
+
+void Network::make_icmp_error(const Ipv6Addr& from, const Ipv6Addr& to,
+                              std::uint8_t type, std::uint8_t code,
+                              const Packet& quoted, Packet& out) const {
   // RFC 4443: quote as much of the offending packet as fits under the
-  // minimum MTU. Our probes are always small enough to quote whole.
-  Packet pkt;
+  // minimum MTU. Our probes are always small enough to quote whole. The
+  // quoted hop limit reads zero: forwarded packets arrive with it run down.
+  out.clear();
   Ipv6Header ip;
   ip.next_header = static_cast<std::uint8_t>(Proto::kIcmp6);
   ip.hop_limit = 64;
@@ -80,20 +114,20 @@ Packet Network::make_icmp_error(const Ipv6Addr& from, const Ipv6Addr& to,
   ip.dst = to;
   ip.payload_length =
       static_cast<std::uint16_t>(Icmp6Header::kSize + quoted.size());
-  ip.encode(pkt);
+  ip.encode(out);
   Icmp6Header icmp;
   icmp.type = static_cast<Icmp6Type>(type);
   icmp.code = code;
-  icmp.encode(pkt);
-  pkt.insert(pkt.end(), quoted.begin(), quoted.end());
-  wire::finalize_transport_checksum(pkt);
-  return pkt;
+  icmp.encode(out);
+  out.insert(out.end(), quoted.begin(), quoted.end());
+  out[Ipv6Header::kSize + Icmp6Header::kSize + 7] = 0;  // quoted hop limit
+  wire::finalize_transport_checksum(out);
 }
 
-Packet Network::make_echo_reply(const Ipv6Addr& from, const Ipv6Addr& to,
-                                const Packet& probe) const {
+void Network::make_echo_reply(const Ipv6Addr& from, const Ipv6Addr& to,
+                              const Packet& probe, Packet& out) const {
   // Echo reply: same id/seq/payload as the request (RFC 4443 §4.2).
-  Packet pkt;
+  out.clear();
   const auto transport = std::span(probe).subspan(Ipv6Header::kSize);
   Ipv6Header ip;
   ip.next_header = static_cast<std::uint8_t>(Proto::kIcmp6);
@@ -101,47 +135,80 @@ Packet Network::make_echo_reply(const Ipv6Addr& from, const Ipv6Addr& to,
   ip.src = from;
   ip.dst = to;
   ip.payload_length = static_cast<std::uint16_t>(transport.size());
-  ip.encode(pkt);
+  ip.encode(out);
   const auto req = Icmp6Header::decode(transport);
   Icmp6Header icmp;
   icmp.type = Icmp6Type::kEchoReply;
   icmp.id = req->id;
   icmp.seq = req->seq;
-  icmp.encode(pkt);
+  icmp.encode(out);
   const auto payload = transport.subspan(Icmp6Header::kSize);
-  pkt.insert(pkt.end(), payload.begin(), payload.end());
-  wire::finalize_transport_checksum(pkt);
-  return pkt;
+  out.insert(out.end(), payload.begin(), payload.end());
+  wire::finalize_transport_checksum(out);
 }
 
-std::vector<Packet> Network::reply_to_interface_echo(const wire::Ipv6Header& ip,
-                                                     std::uint64_t router_id,
-                                                     const Packet& probe) {
+void Network::reply_to_interface_echo(const wire::Ipv6Header& ip,
+                                      std::uint64_t router_id,
+                                      const Packet& probe, PacketPool& out) {
   ++stats_.echo_replies;
-  const auto reply = make_echo_reply(ip.dst, ip.src, probe);
-  if (reply.size() <= wire::kMinMtu) return {reply};
+  Packet& reply = out.acquire();
+  make_echo_reply(ip.dst, ip.src, probe, reply);
+  if (reply.size() <= wire::kMinMtu) return;
   // Oversized: fragment with the router's shared Identification counter.
   auto [it, fresh] = frag_id_.emplace(
       router_id, static_cast<std::uint32_t>(splitmix64(router_id) & 0xffffff));
   const auto id = it->second++;
-  return wire::fragment_packet(reply, id);
+  frag_scratch_ = reply;
+  out.drop_last();
+  for (const auto& frag : wire::fragment_packet(frag_scratch_, id))
+    out.acquire().assign(frag.begin(), frag.end());
+}
+
+std::span<const Packet> Network::inject_view(const Packet& probe) {
+  assert(!in_inject_ && "Network::inject* is not reentrant: replies alias "
+                        "the shared pool; do not inject from an observer");
+  in_inject_ = true;
+  batch_.reset();
+  inject_impl(probe, batch_.pool());
+  const auto replies = batch_.pool().view();
+  if (observer_) observer_(probe, replies);
+  in_inject_ = false;
+  return replies;
 }
 
 std::vector<Packet> Network::inject(const Packet& probe) {
-  auto replies = inject_impl(probe);
-  if (observer_) observer_(probe, replies);
-  return replies;
+  const auto replies = inject_view(probe);
+  return {replies.begin(), replies.end()};
+}
+
+const BatchReplies& Network::inject_batch_view(std::span<const Packet> probes) {
+  assert(!in_inject_ && "Network::inject* is not reentrant: replies alias "
+                        "the shared pool; do not inject from an observer");
+  in_inject_ = true;
+  batch_.reset();
+  for (const auto& p : probes) {
+    const auto before = batch_.pool().size();
+    inject_impl(p, batch_.pool());
+    batch_.end_probe();
+    if (observer_) observer_(p, batch_.pool().view().subspan(before));
+  }
+  in_inject_ = false;
+  return batch_;
 }
 
 std::vector<std::vector<Packet>> Network::inject_batch(
     const std::vector<Packet>& probes) {
+  const auto& batch = inject_batch_view(probes);
   std::vector<std::vector<Packet>> out;
-  out.reserve(probes.size());
-  for (const auto& p : probes) out.push_back(inject(p));
+  out.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const auto replies = batch.of(i);
+    out.emplace_back(replies.begin(), replies.end());
+  }
   return out;
 }
 
-std::vector<Packet> Network::inject_impl(const Packet& probe) {
+void Network::inject_impl(const Packet& probe, PacketPool& out) {
   ++stats_.probes;
   // Failure injection: lose this probe's reply with the configured
   // probability, keyed deterministically off content and time.
@@ -151,42 +218,43 @@ std::vector<Packet> Network::inject_impl(const Packet& probe) {
     if (static_cast<double>(key % 1000000) <
         params_.reply_loss * 1000000.0) {
       ++stats_.lost_replies;
-      return {};
+      return;
     }
   }
+  // The one header decode of the probe's lifetime inside the simnet: the
+  // decoded header and transport span thread through flow hashing and
+  // routing from here.
   const auto ip = Ipv6Header::decode(probe);
   if (!ip || probe.size() != Ipv6Header::kSize + ip->payload_length) {
     ++stats_.malformed;
-    return {};
+    return;
   }
   const auto* vantage = topo_.vantage_by_src(ip->src);
   if (!vantage) {
     ++stats_.malformed;
-    return {};
+    return;
   }
+  const auto transport = std::span(probe).subspan(Ipv6Header::kSize);
 
-  const auto path =
-      topo_.path(*vantage, ip->dst, flow_hash_of(probe), ip->next_header);
+  const auto path = resolve_path(*vantage, *ip, flow_hash_of(*ip, transport));
   const unsigned ttl = ip->hop_limit;
 
   // Hop-limit expiry inside the path: Time Exceeded, rate limited. Silent
   // routers forward but never originate ICMPv6, so they stay invisible
   // (and are not recorded as learned interfaces).
-  if (ttl >= 1 && ttl <= path.hops.size()) {
-    const auto& hop = path.hops[ttl - 1];
+  if (ttl >= 1 && ttl <= path.n_hops()) {
+    const auto& hop = path.hop(ttl - 1);
     if (router_silent(hop.router_id)) {
       ++stats_.silent_drops;
-      return {};
+      return;
     }
     iface_router_.emplace(hop.iface, hop.router_id);
-    if (!consume_token(hop.router_id)) return {};
+    if (!consume_token(hop.router_id)) return;
     ++stats_.time_exceeded;
-    // Forwarded packets arrive with hop limit run down to zero.
-    Packet quoted = probe;
-    quoted[7] = 0;
-    return {make_icmp_error(hop.iface, ip->src,
-                            static_cast<std::uint8_t>(Icmp6Type::kTimeExceeded),
-                            0, quoted)};
+    make_icmp_error(hop.iface, ip->src,
+                    static_cast<std::uint8_t>(Icmp6Type::kTimeExceeded), 0,
+                    probe, out.acquire());
+    return;
   }
 
   // Past every hop: if the destination is a router interface we have
@@ -197,30 +265,30 @@ std::vector<Packet> Network::inject_impl(const Packet& probe) {
   if (static_cast<Proto>(ip->next_header) == Proto::kIcmp6) {
     const auto it = iface_router_.find(ip->dst);
     if (it != iface_router_.end()) {
-      const auto icmp =
-          Icmp6Header::decode(std::span(probe).subspan(Ipv6Header::kSize));
-      if (icmp && icmp->type == Icmp6Type::kEchoRequest)
-        return reply_to_interface_echo(*ip, it->second, probe);
+      const auto icmp = Icmp6Header::decode(transport);
+      if (icmp && icmp->type == Icmp6Type::kEchoRequest) {
+        reply_to_interface_echo(*ip, it->second, probe, out);
+        return;
+      }
     }
   }
 
   // The probe outlives the measured path: terminal behaviour.
-  auto du = [&](const Ipv6Addr& from, wire::UnreachCode code) -> std::vector<Packet> {
+  auto du = [&](const Ipv6Addr& from, wire::UnreachCode code) {
     ++stats_.dest_unreach[static_cast<unsigned>(code)];
-    Packet quoted = probe;
-    quoted[7] = 0;
-    return {make_icmp_error(from, ip->src,
-                            static_cast<std::uint8_t>(Icmp6Type::kDestUnreachable),
-                            static_cast<std::uint8_t>(code), quoted)};
+    make_icmp_error(from, ip->src,
+                    static_cast<std::uint8_t>(Icmp6Type::kDestUnreachable),
+                    static_cast<std::uint8_t>(code), probe, out.acquire());
   };
   const Ipv6Addr last =
-      path.hops.empty() ? vantage->src : path.hops.back().iface;
-  const std::uint64_t last_id = path.hops.empty() ? 0 : path.hops.back().router_id;
+      path.n_hops() == 0 ? vantage->src : path.hop(path.n_hops() - 1).iface;
+  const std::uint64_t last_id =
+      path.n_hops() == 0 ? 0 : path.hop(path.n_hops() - 1).router_id;
   // A silent last router suppresses terminal errors the same way it
   // suppresses Time Exceeded.
-  if (path.end != PathEnd::kDelivered && router_silent(last_id)) {
+  if (path.end() != PathEnd::kDelivered && router_silent(last_id)) {
     ++stats_.silent_drops;
-    return {};
+    return;
   }
 
   // Terminal errors are generated once per target: real border routers and
@@ -228,86 +296,93 @@ std::vector<Packet> Network::inject_impl(const Packet& probe) {
   // 4443 §2.4(f) bounded error rates), so a trace whose hop limit range
   // extends past the failure point sees one DU and then silence — which is
   // why Time Exceeded dominates real response distributions (Table 4).
-  auto du_once = [&](wire::UnreachCode code) -> std::vector<Packet> {
-    const auto key = Ipv6AddrHash{}(ip->dst) ^ 0xd0u;
-    if (nd_negative_cache_.contains(key)) {
+  auto du_once = [&](wire::UnreachCode code) {
+    if (du_sent_.contains(ip->dst)) {
       ++stats_.silent_drops;
-      return {};
+      return;
     }
-    nd_negative_cache_.insert(key);
-    if (!consume_token(last_id)) return {};
-    return du(last, code);
+    du_sent_.insert(ip->dst);
+    if (!consume_token(last_id)) return;
+    du(last, code);
   };
 
-  switch (path.end) {
+  switch (path.end()) {
     case PathEnd::kUnrouted:
     case PathEnd::kNoRoute:
       // Routers where a route lookup fails often null-route silently.
       if (static_cast<double>(splitmix64(last_id ^ 0x9057) % 1000000) <
           params_.noroute_silent_frac * 1e6) {
         ++stats_.silent_drops;
-        return {};
+        return;
       }
-      return du_once(wire::UnreachCode::kNoRoute);
+      du_once(wire::UnreachCode::kNoRoute);
+      return;
 
     case PathEnd::kFirewalled:
-      return du_once(path.firewall_code == 6 ? wire::UnreachCode::kRejectRoute
-                                             : wire::UnreachCode::kAdminProhibited);
+      du_once(path.firewall_code() == 6 ? wire::UnreachCode::kRejectRoute
+                                      : wire::UnreachCode::kAdminProhibited);
+      return;
 
     case PathEnd::kTransportDenied:
-      if (path.firewall_code == 0xff) {  // silent drop policy
+      if (path.firewall_code() == 0xff) {  // silent drop policy
         ++stats_.silent_drops;
-        return {};
+        return;
       }
-      return du_once(wire::UnreachCode::kAdminProhibited);
+      du_once(wire::UnreachCode::kAdminProhibited);
+      return;
 
     case PathEnd::kDelivered:
       break;
   }
 
-  // Delivered into the destination /64.
-  const auto host = topo_.host_at(ip->dst);
+  // Delivered into the destination /64. A delivered end implies the target
+  // originated from a real AS, carried in the resolved route — so the host
+  // oracle runs without a per-probe BGP longest-prefix walk.
+  const auto host = topo_.host_at(*topo_.as(path.dest_asn()), ip->dst);
   if (!host) {
     // Neighbour discovery fails; the gateway answers "address unreachable"
     // once per target, then caches the negative entry.
-    const auto key = Ipv6AddrHash{}(ip->dst);
-    if (nd_negative_cache_.contains(key)) {
+    if (nd_negative_cache_.contains(ip->dst)) {
       ++stats_.silent_drops;
-      return {};
+      return;
     }
-    nd_negative_cache_.insert(key);
+    nd_negative_cache_.insert(ip->dst);
     if (router_silent(last_id)) {
       ++stats_.silent_drops;
-      return {};
+      return;
     }
-    if (!consume_token(last_id)) return {};
-    return du(last, wire::UnreachCode::kAddressUnreachable);
+    if (!consume_token(last_id)) return;
+    du(last, wire::UnreachCode::kAddressUnreachable);
+    return;
   }
 
   const auto proto = static_cast<Proto>(ip->next_header);
   if (host->du_port_responder) {
     // CPE/host firewall style: replies DU port-unreachable to unsolicited
     // probes of any transport, through its own error limiter.
-    if (!consume_token(Ipv6AddrHash{}(host->addr))) return {};
-    return du(host->addr, wire::UnreachCode::kPortUnreachable);
+    if (!consume_token(Ipv6AddrHash{}(host->addr))) return;
+    du(host->addr, wire::UnreachCode::kPortUnreachable);
+    return;
   }
   switch (proto) {
     case Proto::kIcmp6:
       if (host->echo_responder) {
         ++stats_.echo_replies;
-        return {make_echo_reply(host->addr, ip->src, probe)};
+        make_echo_reply(host->addr, ip->src, probe, out.acquire());
+        return;
       }
       ++stats_.silent_drops;
-      return {};
+      return;
     case Proto::kUdp:
       // No listener on the probe port: port unreachable from the host.
-      if (!consume_token(Ipv6AddrHash{}(host->addr))) return {};
-      return du(host->addr, wire::UnreachCode::kPortUnreachable);
+      if (!consume_token(Ipv6AddrHash{}(host->addr))) return;
+      du(host->addr, wire::UnreachCode::kPortUnreachable);
+      return;
     case Proto::kTcp:
     default:
       // TCP RST / silent policy: no ICMPv6 visible to the prober.
       ++stats_.silent_drops;
-      return {};
+      return;
   }
 }
 

@@ -12,22 +12,39 @@
 // (uniformly for yarrp6, burstily for the sequential prober), and the token
 // buckets respond to that pacing precisely as real routers respond to real
 // wall-clock pacing.
+//
+// Fast path. The paper's contribution is probing *volume*, so the
+// steady-state inject cost is a first-class concern. Three mechanisms keep
+// it allocation-free (bench/hotpath.cpp counts allocations to hold the
+// line):
+//   * a route cache memoizes resolved Paths keyed by (vantage, target /64
+//     cell, ECMP flow variant, protocol) — the exact functional
+//     dependencies of Topology::path, see its contract — with hit/miss
+//     counters in NetworkStats and deterministic whole-cache eviction;
+//   * replies are built into a PacketPool whose buffers persist across
+//     probes; inject_view/inject_batch_view return views into it, and the
+//     allocating inject/inject_batch signatures remain as compatibility
+//     shims;
+//   * the mutable lookup state (token buckets, learned interfaces,
+//     fragment-id counters, negative caches) lives in open-addressing
+//     FlatMap/FlatSet tables instead of node-based containers.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <iterator>
-#include <unordered_map>
+#include <span>
 #include <unordered_set>
 #include <vector>
 
+#include "netbase/flat_map.hpp"
+#include "simnet/packet_pool.hpp"
+#include "simnet/route_cache.hpp"
 #include "simnet/token_bucket.hpp"
 #include "simnet/topology.hpp"
 #include "wire/headers.hpp"
 
 namespace beholder6::simnet {
-
-using Packet = std::vector<std::uint8_t>;
 
 struct NetworkParams {
   /// Default bucket parameters: rate in [base_rate, base_rate+rate_spread)
@@ -59,6 +76,15 @@ struct NetworkParams {
   /// what makes deep (z64) probing elicit relatively more non-Time-Exceeded
   /// responses per probe than shallow probing (paper Table 3).
   double noroute_silent_frac = 0.6;
+  /// Route cache capacity in resolved routes; 0 disables caching. When the
+  /// cache fills it is cleared whole — a deterministic eviction (replies
+  /// depend only on which probes went before, never on wall-clock or
+  /// container iteration order). The default covers the largest Table 7
+  /// campaign (~320k targets) with room to spare: randomized probe orders
+  /// revisit every live target per TTL, so an undersized cache thrashes
+  /// rather than degrades gracefully. One 64 B slot per route; ~100-130 B
+  /// amortized with table slack and the shared chain-pool share.
+  std::size_t route_cache_entries = std::size_t{1} << 20;
 };
 
 /// Counters the trial benchmarks report (Tables 3, 4 and Figure 5 all
@@ -72,6 +98,11 @@ struct NetworkStats {
   std::uint64_t silent_drops = 0;      // policy drops / dead hosts / ND cache
   std::uint64_t lost_replies = 0;      // injected in-flight loss
   std::uint64_t malformed = 0;
+  // Route-cache effectiveness. These two are *performance* counters: cache
+  // on vs. off changes them (and nothing else — the determinism suite
+  // compares full stats with them zeroed).
+  std::uint64_t route_cache_hits = 0;
+  std::uint64_t route_cache_misses = 0;
 
   [[nodiscard]] std::uint64_t dest_unreach_total() const {
     std::uint64_t s = 0;
@@ -93,6 +124,8 @@ struct NetworkStats {
     silent_drops += o.silent_drops;
     lost_replies += o.lost_replies;
     malformed += o.malformed;
+    route_cache_hits += o.route_cache_hits;
+    route_cache_misses += o.route_cache_misses;
     return *this;
   }
   friend bool operator==(const NetworkStats&, const NetworkStats&) = default;
@@ -107,54 +140,70 @@ class Network {
   [[nodiscard]] std::uint64_t now_us() const { return now_us_; }
   void advance_us(std::uint64_t us) { now_us_ += us; }
 
-  /// Inject one wire-format probe; returns zero or one wire-format replies.
-  /// The packet's source address selects the vantage (must be registered in
-  /// the topology).
+  /// Inject one wire-format probe; returns a view of zero or more
+  /// wire-format replies, valid until the next inject*/reset call on this
+  /// Network. The packet's source address selects the vantage (must be
+  /// registered in the topology). This is the allocation-free fast path.
+  std::span<const Packet> inject_view(const Packet& probe);
+
+  /// Compatibility shim over inject_view: copies the replies out.
   std::vector<Packet> inject(const Packet& probe);
 
   /// Inject a burst of probes that share one send instant; replies are
-  /// grouped per probe, in order. Semantically identical to calling
-  /// inject() in a loop — this is the batching hook for backends that
-  /// amortize per-call overhead (and for line-rate burst emitters).
+  /// grouped per probe, in order, over one shared packet pool. Semantically
+  /// identical to calling inject_view() in a loop — this is the batching
+  /// hook for backends that amortize per-call overhead (and for line-rate
+  /// burst emitters). The returned view is valid until the next
+  /// inject*/reset call.
+  const BatchReplies& inject_batch_view(std::span<const Packet> probes);
+
+  /// Compatibility shim over inject_batch_view (copies everything out).
   std::vector<std::vector<Packet>> inject_batch(const std::vector<Packet>& probes);
 
-  /// Per-probe observation hook: called after every inject() with the probe
-  /// and its replies, before they reach the caller. Campaign tooling uses
-  /// it to watch a shared network without wrapping every injection site.
+  /// Per-probe observation hook: called after every injected probe with the
+  /// probe and its replies, before they reach the caller. The reply view is
+  /// valid only for the duration of the callback. Campaign tooling uses it
+  /// to watch a shared network without wrapping every injection site.
   using ProbeObserver =
-      std::function<void(const Packet& probe, const std::vector<Packet>& replies)>;
+      std::function<void(const Packet& probe, std::span<const Packet> replies)>;
   void set_probe_observer(ProbeObserver observer) { observer_ = std::move(observer); }
 
   [[nodiscard]] const NetworkStats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
 
-  /// Reset all dynamic state between campaigns: buckets, caches, clock,
-  /// stats, learned interfaces, and the per-router fragment-Identification
-  /// counters. After reset() the network is indistinguishable from a
-  /// freshly constructed one, so run → reset → run reproduces byte-for-byte.
+  /// Reset all dynamic state between campaigns: buckets, caches (including
+  /// the route cache), clock, stats, learned interfaces, and the per-router
+  /// fragment-Identification counters. After reset() the network is
+  /// indistinguishable from a freshly constructed one, so run → reset → run
+  /// reproduces byte-for-byte. (Pooled buffer capacity is retained — it is
+  /// not observable.)
   void reset() {
     buckets_.clear();
     nd_negative_cache_.clear();
+    du_sent_.clear();
     now_us_ = 0;
     stats_ = {};
     iface_router_.clear();
     frag_id_.clear();
+    route_cache_.clear();
+    batch_.reset();
   }
 
   [[nodiscard]] const NetworkParams& params() const { return params_; }
 
   /// A fresh Network over the same topology and parameters with pristine
-  /// dynamic state — the per-shard replica parallel campaign backends run
-  /// on. Replicas share nothing mutable: each has its own clock, token
-  /// buckets, caches, and counters, matching the semantics of vantage
-  /// points that never share a router's rate-limit budget with themselves.
+  /// dynamic state (route cache included) — the per-shard replica parallel
+  /// campaign backends run on. Replicas share nothing mutable: each has its
+  /// own clock, token buckets, caches, and counters, matching the semantics
+  /// of vantage points that never share a router's rate-limit budget with
+  /// themselves.
   [[nodiscard]] Network replica() const { return Network(topo_, params_); }
 
   [[nodiscard]] const Topology& topology() const { return topo_; }
 
   /// Router interfaces learned from Time Exceeded responses so far (address
   /// → router identity). Alias probing targets these directly.
-  [[nodiscard]] const std::unordered_map<Ipv6Addr, std::uint64_t, Ipv6AddrHash>&
+  [[nodiscard]] const netbase::FlatMap<Ipv6Addr, std::uint64_t, Ipv6AddrHash>&
   learned_interfaces() const {
     return iface_router_;
   }
@@ -163,32 +212,71 @@ class Network {
   /// fraction)? Exposed so experiments can account for expected gaps.
   [[nodiscard]] bool router_silent(std::uint64_t router_id) const;
 
+  /// Memory-latency hint: begin pulling the route-cache state for a probe
+  /// from `vantage_src` toward `dst` into cache, roughly one probe ahead
+  /// of its inject. Read-only and result-neutral — a wrong or stale hint
+  /// costs a few loads and nothing else. The campaign runner wires
+  /// ProbeSource::next_target_hint() into this.
+  void prime_route(const Ipv6Addr& vantage_src, const Ipv6Addr& dst,
+                   wire::Proto proto) {
+    if (params_.route_cache_entries == 0) return;
+    const auto* vantage = topo_.vantage_by_src(vantage_src);
+    if (!vantage) return;
+    const auto vidx =
+        static_cast<std::uint64_t>(vantage - topo_.vantages().data());
+    const auto meta = (vidx << 16) |
+                      (static_cast<std::uint64_t>(proto) << 8);
+    // The ECMP flow variant of the future probe is unknown; touch both.
+    for (std::uint64_t variant = 0; variant < kEcmpVariantPeriod; ++variant)
+      route_cache_.touch({dst.hi(), meta | variant});
+  }
+
  private:
-  std::vector<Packet> inject_impl(const Packet& probe);
-  std::vector<Packet> reply_to_interface_echo(const wire::Ipv6Header& ip,
-                                              std::uint64_t router_id,
-                                              const Packet& probe);
+  void inject_impl(const Packet& probe, PacketPool& out);
+  void reply_to_interface_echo(const wire::Ipv6Header& ip,
+                               std::uint64_t router_id, const Packet& probe,
+                               PacketPool& out);
   TokenBucket& bucket_for(std::uint64_t router_id);
   [[nodiscard]] bool consume_token(std::uint64_t router_id);
-  [[nodiscard]] static std::uint64_t flow_hash_of(const Packet& probe);
-  Packet make_icmp_error(const Ipv6Addr& from, const Ipv6Addr& to,
-                         std::uint8_t type, std::uint8_t code,
-                         const Packet& quoted) const;
-  Packet make_echo_reply(const Ipv6Addr& from, const Ipv6Addr& to,
-                         const Packet& probe) const;
+  /// Per-flow ECMP key over the already-decoded header and transport bytes
+  /// (the header is decoded exactly once per probe, in inject_impl).
+  [[nodiscard]] static std::uint64_t flow_hash_of(
+      const wire::Ipv6Header& ip, std::span<const std::uint8_t> transport);
+  /// The resolved path for this probe: route-cache lookup, falling back to
+  /// Topology::path on a miss (or always, when caching is disabled). The
+  /// view is valid until the next resolve_path call.
+  RouteCache::Resolved resolve_path(const VantageInfo& vantage,
+                                    const wire::Ipv6Header& ip,
+                                    std::uint64_t flow_hash);
+  void make_icmp_error(const Ipv6Addr& from, const Ipv6Addr& to,
+                       std::uint8_t type, std::uint8_t code, const Packet& quoted,
+                       Packet& out) const;
+  void make_echo_reply(const Ipv6Addr& from, const Ipv6Addr& to,
+                       const Packet& probe, Packet& out) const;
 
   const Topology& topo_;
   NetworkParams params_;
   ProbeObserver observer_;
   std::uint64_t now_us_ = 0;
   NetworkStats stats_;
-  std::unordered_map<std::uint64_t, TokenBucket> buckets_;
-  std::unordered_set<std::uint64_t> nd_negative_cache_;
-  std::unordered_map<Ipv6Addr, std::uint64_t, Ipv6AddrHash> iface_router_;
+  netbase::FlatMap<std::uint64_t, TokenBucket> buckets_;
+  // Negative caches keyed by the *full* target address. (They were keyed by
+  // a 64-bit hash once, which let two distinct targets collide and wrongly
+  // suppress a Destination Unreachable.)
+  netbase::FlatSet<Ipv6Addr, Ipv6AddrHash> nd_negative_cache_;  // ND failed
+  netbase::FlatSet<Ipv6Addr, Ipv6AddrHash> du_sent_;  // terminal DU emitted
+  netbase::FlatMap<Ipv6Addr, std::uint64_t, Ipv6AddrHash> iface_router_;
   // Per-router IPv6 fragment Identification counters. All interfaces of one
   // router draw from one counter — the signal speedtrap-style alias
   // resolution exploits.
-  std::unordered_map<std::uint64_t, std::uint32_t> frag_id_;
+  netbase::FlatMap<std::uint64_t, std::uint32_t> frag_id_;
+  RouteCache route_cache_;
+  // Scratch for cache-disabled resolution (capacity reused across probes).
+  Path uncached_path_;
+  std::vector<RouteCache::CompactHop> uncached_hops_;
+  BatchReplies batch_;   // reply pool behind inject_view / inject_batch_view
+  bool in_inject_ = false;  // reentrancy guard: observers must not inject
+  Packet frag_scratch_;  // staging for the (rare) oversized-echo path
 };
 
 }  // namespace beholder6::simnet

@@ -1,0 +1,84 @@
+// simnet/packet_pool.hpp — reusable packet buffers for the zero-allocation
+// inject fast path.
+//
+// The steady-state cost model of the simnet is one probe in, zero-or-more
+// replies out, millions of times. Building every reply in a fresh
+// std::vector (and returning them in a fresh std::vector of vectors) puts
+// 3-5 heap allocations on that path. A PacketPool instead hands out slots
+// whose heap storage persists across clear(): after a short warm-up every
+// acquire() is a size reset into capacity that already exists, so the
+// steady state allocates nothing (bench/hotpath.cpp counts this).
+//
+// Views returned from the pool are invalidated by the next acquire()/
+// clear() — exactly the lifetime Network::inject_view documents.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace beholder6::simnet {
+
+using Packet = std::vector<std::uint8_t>;
+
+class PacketPool {
+ public:
+  /// A cleared packet slot to build into; capacity from earlier use is
+  /// retained. The reference is stable until the next acquire() or clear().
+  Packet& acquire() {
+    if (live_ == slots_.size()) slots_.emplace_back();
+    Packet& p = slots_[live_++];
+    p.clear();
+    return p;
+  }
+
+  /// Drop the most recently acquired slot (e.g. a reply that turned out to
+  /// need fragmentation and is re-emitted as fragments).
+  void drop_last() { --live_; }
+
+  /// The packets built since the last clear(), in acquire order.
+  [[nodiscard]] std::span<const Packet> view() const {
+    return {slots_.data(), live_};
+  }
+
+  [[nodiscard]] std::size_t size() const { return live_; }
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+
+  /// Forget the live packets but keep every slot's storage for reuse.
+  void clear() { live_ = 0; }
+
+ private:
+  std::vector<Packet> slots_;
+  std::size_t live_ = 0;
+};
+
+/// Per-probe grouping over one shared PacketPool: the flat reply stream of
+/// an injected batch plus the [first, last) slot range of each probe.
+class BatchReplies {
+ public:
+  /// Number of probes in the batch.
+  [[nodiscard]] std::size_t size() const { return ends_.size(); }
+
+  /// Replies to the i-th probe, in arrival order.
+  [[nodiscard]] std::span<const Packet> of(std::size_t i) const {
+    const std::size_t begin = i == 0 ? 0 : ends_[i - 1];
+    return pool_.view().subspan(begin, ends_[i] - begin);
+  }
+
+  /// Every reply of the batch, in probe-then-arrival order.
+  [[nodiscard]] std::span<const Packet> all() const { return pool_.view(); }
+
+  // -- producer side (Network) --
+  PacketPool& pool() { return pool_; }
+  void reset() {
+    pool_.clear();
+    ends_.clear();
+  }
+  void end_probe() { ends_.push_back(static_cast<std::uint32_t>(pool_.size())); }
+
+ private:
+  PacketPool pool_;
+  std::vector<std::uint32_t> ends_;  // cumulative reply count per probe
+};
+
+}  // namespace beholder6::simnet

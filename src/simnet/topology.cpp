@@ -276,50 +276,52 @@ bool Topology::client_active(const AsInfo& as, const Prefix& slash64) const {
          static_cast<std::uint64_t>(as.client_activity * 1000);
 }
 
+HostInfo Topology::host_j(const AsInfo& as, std::uint64_t key, unsigned j) const {
+  const auto hj = h(as.asn, 0x40c8, key, j);
+  std::uint64_t iid;
+  const bool eyeball = as.type == AsType::kEyeballIsp;
+  // IID style mix mirrors the paper's Table 1 seed classifications:
+  // servers are mostly lowbyte/random with ~10% EUI-64; residential
+  // clients are mostly SLAAC privacy addresses with some EUI-64 CPE LAN
+  // interfaces.
+  unsigned style;  // 0 = lowbyte, 1 = EUI-64, 2 = random
+  if (eyeball) {
+    style = hj % 8 < 6 ? 2u : 1u;
+  } else {
+    const auto r = hj % 20;
+    style = r < 9 ? 0u : (r < 18 ? 2u : 1u);
+  }
+  switch (style) {
+    case 0:  // lowbyte server numbering
+      iid = 0x10 + j;
+      break;
+    case 1: {  // EUI-64 from a server/CPE MAC
+      const std::uint32_t oui =
+          eyeball ? as.cpe_oui : kServerOuis[hj % std::size(kServerOuis)];
+      Mac mac{{static_cast<std::uint8_t>(oui >> 16),
+               static_cast<std::uint8_t>(oui >> 8), static_cast<std::uint8_t>(oui),
+               static_cast<std::uint8_t>(hj >> 16), static_cast<std::uint8_t>(hj >> 8),
+               static_cast<std::uint8_t>(hj)}};
+      iid = eui64_iid(mac);
+      break;
+    }
+    default:  // SLAAC privacy (random)
+      iid = splitmix64(hj) | (1ULL << 63);  // ensure clearly non-lowbyte
+      break;
+  }
+  HostInfo host;
+  host.addr = Ipv6Addr::from_halves(key, iid);
+  host.du_port_responder = (eyeball ? hj % 3 : hj % 4) == 0;
+  host.echo_responder = !host.du_port_responder;
+  return host;
+}
+
 std::vector<HostInfo> Topology::hosts_in(const AsInfo& as, const Prefix& slash64) const {
   std::vector<HostInfo> out;
-  const auto base = slash64.base();
-  const auto key = base.hi();
+  const auto key = slash64.base().hi();
   const unsigned n = static_cast<unsigned>(h(as.asn, 0x40c7, key) % 9);  // 0..8
-  for (unsigned j = 0; j < n; ++j) {
-    const auto hj = h(as.asn, 0x40c8, key, j);
-    std::uint64_t iid;
-    const bool eyeball = as.type == AsType::kEyeballIsp;
-    // IID style mix mirrors the paper's Table 1 seed classifications:
-    // servers are mostly lowbyte/random with ~10% EUI-64; residential
-    // clients are mostly SLAAC privacy addresses with some EUI-64 CPE LAN
-    // interfaces.
-    unsigned style;  // 0 = lowbyte, 1 = EUI-64, 2 = random
-    if (eyeball) {
-      style = hj % 8 < 6 ? 2u : 1u;
-    } else {
-      const auto r = hj % 20;
-      style = r < 9 ? 0u : (r < 18 ? 2u : 1u);
-    }
-    switch (style) {
-      case 0:  // lowbyte server numbering
-        iid = 0x10 + j;
-        break;
-      case 1: {  // EUI-64 from a server/CPE MAC
-        const std::uint32_t oui =
-            eyeball ? as.cpe_oui : kServerOuis[hj % std::size(kServerOuis)];
-        Mac mac{{static_cast<std::uint8_t>(oui >> 16),
-                 static_cast<std::uint8_t>(oui >> 8), static_cast<std::uint8_t>(oui),
-                 static_cast<std::uint8_t>(hj >> 16), static_cast<std::uint8_t>(hj >> 8),
-                 static_cast<std::uint8_t>(hj)}};
-        iid = eui64_iid(mac);
-        break;
-      }
-      default:  // SLAAC privacy (random)
-        iid = splitmix64(hj) | (1ULL << 63);  // ensure clearly non-lowbyte
-        break;
-    }
-    HostInfo host;
-    host.addr = Ipv6Addr::from_halves(key, iid);
-    host.du_port_responder = (eyeball ? hj % 3 : hj % 4) == 0;
-    host.echo_responder = !host.du_port_responder;
-    out.push_back(host);
-  }
+  out.reserve(n);
+  for (unsigned j = 0; j < n; ++j) out.push_back(host_j(as, key, j));
   return out;
 }
 
@@ -328,12 +330,22 @@ std::optional<HostInfo> Topology::host_at(const Ipv6Addr& a) const {
   if (!asn) return std::nullopt;
   const auto* as_info = as(*asn);
   if (!as_info) return std::nullopt;
+  return host_at(*as_info, a);
+}
+
+std::optional<HostInfo> Topology::host_at(const AsInfo& as, const Ipv6Addr& a) const {
   const Prefix p64{a, 64};
-  if (!subnet_exists(*as_info, a)) return std::nullopt;
+  if (!subnet_exists(as, a)) return std::nullopt;
   // The gateway's own interface answers echoes like a host would.
-  if (gateway_iface(*as_info, p64) == a) return HostInfo{a, true, false};
-  for (const auto& host : hosts_in(*as_info, p64))
+  if (gateway_iface(as, p64) == a) return HostInfo{a, true, false};
+  // Probe the deterministic host list without materializing it: this runs
+  // once per delivered probe.
+  const auto key = p64.base().hi();
+  const unsigned n = static_cast<unsigned>(h(as.asn, 0x40c7, key) % 9);
+  for (unsigned j = 0; j < n; ++j) {
+    const auto host = host_j(as, key, j);
     if (host.addr == a) return host;
+  }
   return std::nullopt;
 }
 

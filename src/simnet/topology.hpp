@@ -25,10 +25,10 @@
 #include <optional>
 #include <shared_mutex>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "netbase/eui64.hpp"
+#include "netbase/flat_map.hpp"
 #include "netbase/ipv6.hpp"
 #include "netbase/prefix.hpp"
 #include "netbase/radix_trie.hpp"
@@ -94,7 +94,17 @@ struct Hop {
   Ipv6Addr iface;          // ICMPv6 source address this router answers from
   std::uint64_t router_id; // stable id for rate-limiter state
   unsigned ecmp_width = 1; // number of parallel equal-cost siblings here
+
+  friend bool operator==(const Hop&, const Hop&) = default;
 };
+
+/// The least common multiple of every ECMP group width the topology ever
+/// constructs (infra_hop builds widths of 1 and 2 only). Each hop resolves
+/// its variant as flow_hash % width, so path() is invariant under
+/// flow_hash mod this period — the contract Network's route cache keys on.
+/// Widening ECMP groups must update this constant (and the route-cache key
+/// with it); the oracle property suite cross-checks the invariance.
+inline constexpr std::uint64_t kEcmpVariantPeriod = 2;
 
 /// Why a path ends where it does — determines the terminal response.
 enum class PathEnd : std::uint8_t {
@@ -111,6 +121,8 @@ struct Path {
   PathEnd end = PathEnd::kDelivered;
   Asn dest_asn = 0;        // 0 if unrouted
   std::uint8_t firewall_code = 1;  // DU code if end == kFirewalled
+
+  friend bool operator==(const Path&, const Path&) = default;
 };
 
 /// A live end host in some /64.
@@ -162,7 +174,13 @@ class Topology {
   /// Live hosts within an existing /64 (deterministic, at most 8).
   [[nodiscard]] std::vector<HostInfo> hosts_in(const AsInfo& as, const Prefix& slash64) const;
   /// Liveness + response style of one concrete address (nullopt = no host).
+  /// Allocation-free: sits on the steady-state inject path for every
+  /// delivered probe.
   [[nodiscard]] std::optional<HostInfo> host_at(const Ipv6Addr& a) const;
+  /// host_at with the originating AS already known (e.g. from a cached
+  /// route's dest_asn), skipping the per-probe BGP longest-prefix walk.
+  [[nodiscard]] std::optional<HostInfo> host_at(const AsInfo& as,
+                                                const Ipv6Addr& a) const;
   /// Gateway interface address of an existing /64 (depends on convention).
   [[nodiscard]] Ipv6Addr gateway_iface(const AsInfo& as, const Prefix& slash64) const;
 
@@ -174,7 +192,12 @@ class Topology {
   // ---- Path oracle ----
 
   /// Router-level path from a vantage toward `target` for a given flow hash
-  /// (the flow hash resolves ECMP choices).
+  /// (the flow hash resolves ECMP choices). The result is a pure function
+  /// of (vantage, target's upper 64 bits, flow_hash % kEcmpVariantPeriod,
+  /// proto): every existence/firewall/gateway oracle consulted here reads
+  /// only the /64 cell, and ECMP variants repeat with the period. That
+  /// four-tuple is the complete key Network's route cache memoizes on
+  /// (asserted by tests/simnet/route_cache_test.cpp).
   [[nodiscard]] Path path(const VantageInfo& vantage, const Ipv6Addr& target,
                           std::uint64_t flow_hash, std::uint8_t proto) const;
 
@@ -197,6 +220,9 @@ class Topology {
   [[nodiscard]] Hop infra_hop(const AsInfo& as, unsigned chain, unsigned idx,
                               unsigned variant, unsigned width,
                               std::uint64_t ingress) const;
+  /// The j-th deterministic host of the /64 whose base has high half `key`
+  /// (shared by hosts_in and the allocation-free host_at).
+  [[nodiscard]] HostInfo host_j(const AsInfo& as, std::uint64_t key, unsigned j) const;
   void build_ases();
   void build_graph();
 
@@ -205,11 +231,13 @@ class Topology {
   RadixTrie<Asn> bgp_;
   std::vector<VantageInfo> vantages_;
   std::vector<std::vector<std::uint32_t>> adj_;  // index-based adjacency
-  // BFS results are memoized: the path oracle runs once per probe. One
-  // Topology is shared by every Network replica of a parallel campaign, so
-  // the memo is guarded (read-mostly; misses recompute deterministically).
+  // BFS results are memoized: the path oracle runs once per route-cache
+  // miss. One Topology is shared by every Network replica of a parallel
+  // campaign, so the memo is guarded (read-mostly; misses recompute
+  // deterministically). FlatMap keeps the read path one probe sequence in
+  // contiguous memory instead of a node chase per lookup.
   mutable std::shared_mutex as_path_mu_;
-  mutable std::unordered_map<std::uint64_t, std::vector<Asn>> as_path_cache_;
+  mutable netbase::FlatMap<std::uint64_t, std::vector<Asn>> as_path_cache_;
 };
 
 }  // namespace beholder6::simnet

@@ -39,8 +39,8 @@ void TraceCollector::merge(const TraceCollector& other) {
     for (const auto& [ttl, hop] : tr.hops) mine.hops.emplace(ttl, hop);
     mine.reached |= tr.reached;
   }
-  interfaces_.insert(other.interfaces_.begin(), other.interfaces_.end());
-  responders_.insert(other.responders_.begin(), other.responders_.end());
+  for (const auto& iface : other.interfaces_) interfaces_.insert(iface);
+  for (const auto& responder : other.responders_) responders_.insert(responder);
   te_ += other.te_;
   non_te_ += other.non_te_;
   auto_counter_ += other.auto_counter_;

@@ -9,13 +9,14 @@
 // EUI-64 interface analysis with path offsets.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <map>
 #include <optional>
-#include <unordered_map>
-#include <unordered_set>
+#include <stdexcept>
+#include <utility>
 #include <vector>
 
+#include "netbase/flat_map.hpp"
 #include "netbase/ipv6.hpp"
 #include "wire/probe.hpp"
 
@@ -29,11 +30,60 @@ struct TraceHop {
   std::uint32_t rtt_us = 0;
 };
 
+/// The hops of one trace, keyed and iterated by originating TTL. A trace
+/// has at most a few dozen hops, so a sorted inline vector replaces the
+/// node-per-hop std::map this once was: same ordered-map interface, no
+/// allocation per hop, contiguous iteration — on_reply sits on the
+/// campaign hot path, once per reply.
+class TtlHopMap {
+ public:
+  using value_type = std::pair<std::uint8_t, TraceHop>;
+  using const_iterator = const value_type*;
+
+  /// Insert unless the TTL is present (first response per TTL wins).
+  std::pair<const_iterator, bool> emplace(std::uint8_t ttl, const TraceHop& hop) {
+    const auto it = lower_bound(ttl);
+    if (it != v_.end() && it->first == ttl) return {&*it, false};
+    return {&*v_.insert(it, {ttl, hop}), true};
+  }
+
+  [[nodiscard]] const_iterator find(std::uint8_t ttl) const {
+    const auto it = lower_bound(ttl);
+    return it != v_.end() && it->first == ttl ? &*it : end();
+  }
+  [[nodiscard]] bool contains(std::uint8_t ttl) const { return find(ttl) != end(); }
+  [[nodiscard]] const TraceHop& at(std::uint8_t ttl) const {
+    const auto it = find(ttl);
+    if (it == end()) throw std::out_of_range("TtlHopMap::at");
+    return it->second;
+  }
+
+  [[nodiscard]] const_iterator begin() const { return v_.data(); }
+  [[nodiscard]] const_iterator end() const { return v_.data() + v_.size(); }
+  [[nodiscard]] std::size_t size() const { return v_.size(); }
+  [[nodiscard]] bool empty() const { return v_.empty(); }
+
+ private:
+  [[nodiscard]] std::vector<value_type>::const_iterator lower_bound(
+      std::uint8_t ttl) const {
+    return std::lower_bound(
+        v_.begin(), v_.end(), ttl,
+        [](const value_type& e, std::uint8_t t) { return e.first < t; });
+  }
+  [[nodiscard]] std::vector<value_type>::iterator lower_bound(std::uint8_t ttl) {
+    return std::lower_bound(
+        v_.begin(), v_.end(), ttl,
+        [](const value_type& e, std::uint8_t t) { return e.first < t; });
+  }
+
+  std::vector<value_type> v_;  // sorted by TTL
+};
+
 /// A reassembled trace toward one target. Hops are keyed by originating
 /// TTL; missing TTLs are unresponsive hops.
 struct Trace {
   Ipv6Addr target;
-  std::map<std::uint8_t, TraceHop> hops;
+  TtlHopMap hops;
   bool reached = false;  // some response came from the target itself
 
   /// Highest TTL that drew a Time Exceeded (the measured path length).
@@ -81,16 +131,16 @@ class TraceCollector {
   /// reply stream into a fresh collector when a global curve is wanted.
   void merge(const TraceCollector& other);
 
-  [[nodiscard]] const std::unordered_map<Ipv6Addr, Trace, Ipv6AddrHash>& traces() const {
+  [[nodiscard]] const netbase::FlatMap<Ipv6Addr, Trace, Ipv6AddrHash>& traces() const {
     return traces_;
   }
   /// Unique router interface addresses: sources of ICMPv6 Time Exceeded
   /// (the paper's headline metric).
-  [[nodiscard]] const std::unordered_set<Ipv6Addr, Ipv6AddrHash>& interfaces() const {
+  [[nodiscard]] const netbase::FlatSet<Ipv6Addr, Ipv6AddrHash>& interfaces() const {
     return interfaces_;
   }
   /// Sources of any ICMPv6 response (interfaces ∪ hosts ∪ gateways).
-  [[nodiscard]] const std::unordered_set<Ipv6Addr, Ipv6AddrHash>& responders() const {
+  [[nodiscard]] const netbase::FlatSet<Ipv6Addr, Ipv6AddrHash>& responders() const {
     return responders_;
   }
   [[nodiscard]] std::uint64_t non_te_responses() const { return non_te_; }
@@ -119,9 +169,11 @@ class TraceCollector {
   [[nodiscard]] Eui64Report eui64_report() const;
 
  private:
-  std::unordered_map<Ipv6Addr, Trace, Ipv6AddrHash> traces_;
-  std::unordered_set<Ipv6Addr, Ipv6AddrHash> interfaces_;
-  std::unordered_set<Ipv6Addr, Ipv6AddrHash> responders_;
+  // Open-addressing tables: reply handling is once-per-reply hot, and
+  // node-based containers cost an allocation plus a pointer chase there.
+  netbase::FlatMap<Ipv6Addr, Trace, Ipv6AddrHash> traces_;
+  netbase::FlatSet<Ipv6Addr, Ipv6AddrHash> interfaces_;
+  netbase::FlatSet<Ipv6Addr, Ipv6AddrHash> responders_;
   std::vector<DiscoverySample> curve_;
   std::uint64_t te_ = 0;
   std::uint64_t non_te_ = 0;

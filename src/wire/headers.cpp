@@ -121,14 +121,22 @@ std::size_t checksum_offset(std::uint8_t next_header) {
 }  // namespace
 
 bool finalize_transport_checksum(std::vector<std::uint8_t>& packet) {
-  auto ip = Ipv6Header::decode(packet);
-  if (!ip || packet.size() < Ipv6Header::kSize) return false;
-  const auto off = checksum_offset(ip->next_header);
+  // Runs once per packet built, so the pseudo-header fields are read in
+  // place (src/dst are the contiguous bytes 8..40) instead of decoding the
+  // whole header into a value type first.
+  if (packet.size() < Ipv6Header::kSize || (packet[0] >> 4) != 6) return false;
+  const std::uint8_t next_header = packet[6];
+  const auto off = checksum_offset(next_header);
   if (off == SIZE_MAX) return false;
   auto transport = std::span(packet).subspan(Ipv6Header::kSize);
   if (transport.size() < off + 2) return false;
   transport[off] = transport[off + 1] = 0;
-  const auto c = pseudo_header_checksum(ip->src, ip->dst, ip->next_header, transport);
+  ChecksumAccumulator acc;
+  acc.add(std::span(packet).subspan(8, 32));  // src ++ dst
+  acc.add_u32(static_cast<std::uint32_t>(transport.size()));
+  acc.add_u16(next_header);
+  acc.add(transport);
+  const auto c = acc.finish();
   transport[off] = static_cast<std::uint8_t>(c >> 8);
   transport[off + 1] = static_cast<std::uint8_t>(c);
   return true;

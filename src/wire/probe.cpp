@@ -44,8 +44,8 @@ std::uint16_t payload_fudge(std::uint32_t magic, std::uint8_t instance,
   return static_cast<std::uint16_t>(0xffff - payload_partial_sum(magic, instance, ttl, elapsed_us));
 }
 
-std::vector<std::uint8_t> encode_probe(const ProbeSpec& spec) {
-  std::vector<std::uint8_t> pkt;
+void encode_probe_into(const ProbeSpec& spec, std::vector<std::uint8_t>& pkt) {
+  pkt.clear();
   pkt.reserve(Ipv6Header::kSize + TcpHeader::kSize + kYarrpPayloadSize);
 
   std::size_t transport_size = kYarrpPayloadSize;
@@ -94,6 +94,11 @@ std::vector<std::uint8_t> encode_probe(const ProbeSpec& spec) {
   }
   encode_yarrp_payload(pkt, spec);
   finalize_transport_checksum(pkt);
+}
+
+std::vector<std::uint8_t> encode_probe(const ProbeSpec& spec) {
+  std::vector<std::uint8_t> pkt;
+  encode_probe_into(spec, pkt);
   return pkt;
 }
 
@@ -203,10 +208,11 @@ std::optional<DecodedReply> decode_reply(std::span<const std::uint8_t> packet,
   reply.rtt_us = now_elapsed_us - probe->elapsed_us;
 
   // Validate the target checksum riding in the quoted source port / id.
-  const auto quoted_ip = Ipv6Header::decode(quote);
+  // decode_probe already parsed (and vouched for) the quotation, so its
+  // proto stands in for re-decoding the quoted header.
   const auto quoted_transport = quote.subspan(Ipv6Header::kSize);
   std::uint16_t carried = 0;
-  switch (static_cast<Proto>(quoted_ip->next_header)) {
+  switch (probe->proto) {
     case Proto::kIcmp6: carried = Icmp6Header::decode(quoted_transport)->id; break;
     case Proto::kUdp: carried = UdpHeader::decode(quoted_transport)->src_port; break;
     case Proto::kTcp: carried = TcpHeader::decode(quoted_transport)->src_port; break;

@@ -72,7 +72,11 @@ struct DecodedReply {
 
 /// Serialize a probe to wire bytes (IPv6 + transport + 12B yarrp payload),
 /// with transport checksum finalized and fudge applied so the checksum is a
-/// per-target constant.
+/// per-target constant. Writes into `out` (cleared first), so hot loops can
+/// reuse one buffer and pay no per-probe allocation.
+void encode_probe_into(const ProbeSpec& spec, std::vector<std::uint8_t>& out);
+
+/// Allocating convenience over encode_probe_into.
 [[nodiscard]] std::vector<std::uint8_t> encode_probe(const ProbeSpec& spec);
 
 /// Parse a wire-format probe back into its spec (used by tests and by the

@@ -191,7 +191,7 @@ TEST_F(CampaignTest, InterleavedVantagesAlternateProbes) {
   simnet::Network net{topo_, unlimited()};
   std::vector<Ipv6Addr> sources_seen;
   net.set_probe_observer(
-      [&](const simnet::Packet& probe, const std::vector<simnet::Packet>&) {
+      [&](const simnet::Packet& probe, std::span<const simnet::Packet>) {
         sources_seen.push_back(wire::Ipv6Header::decode(probe)->src);
       });
   prober::Yarrp6Config cfg;

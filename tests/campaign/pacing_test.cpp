@@ -63,7 +63,7 @@ class PacingTest : public ::testing::Test {
     simnet::Network net{topo_, unlimited()};
     std::vector<std::uint32_t> sent_at;
     net.set_probe_observer(
-        [&](const simnet::Packet& probe, const std::vector<simnet::Packet>&) {
+        [&](const simnet::Packet& probe, std::span<const simnet::Packet>) {
           sent_at.push_back(wire::decode_probe(probe)->elapsed_us);
         });
     ScriptSource source{std::move(script)};
