@@ -28,6 +28,28 @@ struct NamedSet {
   target::TargetSet set;
 };
 
+/// The Table 7 campaign configuration (pps 1000, 16 TTLs, fill mode) from
+/// vantage `src` — the one workload bench_table7_campaigns, bench_hotpath
+/// and bench_parallel_campaigns must all measure identically.
+[[nodiscard]] inline prober::Yarrp6Config table7_campaign_cfg(const Ipv6Addr& src) {
+  prober::Yarrp6Config cfg;
+  cfg.src = src;
+  cfg.pps = 1000;
+  cfg.max_ttl = 16;
+  cfg.fill_mode = true;
+  return cfg;
+}
+
+/// Concatenate every set's targets: the giant-single-shard workload (one
+/// yarrp6 walk over everything) used to check the sub-shard scheduler.
+[[nodiscard]] inline std::vector<Ipv6Addr> concat_targets(
+    const std::vector<NamedSet>& sets) {
+  std::vector<Ipv6Addr> all;
+  for (const auto& ns : sets)
+    all.insert(all.end(), ns.set.addrs.begin(), ns.set.addrs.end());
+  return all;
+}
+
 /// The reproducible experiment world.
 struct World {
   explicit World(double scale = 1.0, std::uint64_t seed = 20180514)

@@ -111,10 +111,7 @@ std::vector<Job> make_jobs(const bench::World& world,
   for (const auto& ns : sets) {
     for (const auto& vantage : world.topo.vantages()) {
       Job job;
-      job.cfg.src = vantage.src;
-      job.cfg.pps = 1000;
-      job.cfg.max_ttl = 16;
-      job.cfg.fill_mode = true;
+      job.cfg = bench::table7_campaign_cfg(vantage.src);
       job.source = std::make_unique<prober::Yarrp6Source>(job.cfg, ns.set.addrs);
       jobs.push_back(std::move(job));
     }
@@ -242,6 +239,41 @@ int main(int argc, char** argv) {
                  sweep.back().m.pps());
   }
 
+  // Sub-shard scheduler guard: one giant shard (every target in one yarrp6
+  // walk) — the shape thread scaling cannot touch without
+  // ParallelRunOptions::split_factor. Measures unsplit @1 thread (the PR 3
+  // wall-clock bound) against split 8 @1 and @8 threads; the two split
+  // runs must agree exactly (thread-count invariance at fixed split).
+  const auto all_targets = bench::concat_targets(sets);
+  auto giant = [&](std::uint64_t split, unsigned threads) {
+    const auto cfg = bench::table7_campaign_cfg(world.topo.vantages()[0].src);
+    prober::Yarrp6Source source{cfg, all_targets};
+    const std::vector<campaign::Shard> shards{
+        {&source, cfg.endpoint(), cfg.pacing(), {}}};
+    const campaign::ParallelCampaignRunner runner{world.topo,
+                                                  simnet::NetworkParams{}, threads};
+    Measured m;
+    const auto t0 = Clock::now();
+    const auto result = runner.run(
+        shards, {.collect_replies = false, .split_factor = split});
+    m.seconds = secs_since(t0);
+    m.probes = result.net_stats.probes;
+    m.net_stats = result.net_stats;
+    return m;
+  };
+  const auto giant_unsplit = giant(1, 1);
+  const auto giant_split_1t = giant(8, 1);
+  const auto giant_split_8t = giant(8, 8);
+  const bool giant_deterministic =
+      giant_split_1t.net_stats == giant_split_8t.net_stats;
+  std::fprintf(stderr,
+               "giant shard: unsplit %.3fs, split8@1t %.3fs, split8@8t %.3fs "
+               "(%.2fx) %s\n",
+               giant_unsplit.seconds, giant_split_1t.seconds,
+               giant_split_8t.seconds,
+               giant_unsplit.seconds / giant_split_8t.seconds,
+               giant_deterministic ? "" : "DETERMINISM MISMATCH");
+
   const auto hits = fast.net_stats.route_cache_hits;
   const auto misses = fast.net_stats.route_cache_misses;
   const double hit_rate =
@@ -295,6 +327,18 @@ int main(int argc, char** argv) {
                  sweep[i].m.seconds, sweep[i].m.pps());
   std::fprintf(out, "],\n");
   std::fprintf(out,
+               "  \"giant_shard\": {\"desc\": \"one yarrp6 campaign over all "
+               "targets; split_factor over-decomposes the walk so threads can "
+               "steal below shard granularity\", \"targets\": %zu, "
+               "\"unsplit_1thread_seconds\": %.3f, \"split8_1thread_seconds\": "
+               "%.3f, \"split8_8threads_seconds\": %.3f, "
+               "\"split8_speedup_vs_unsplit\": %.2f, "
+               "\"split_thread_invariant\": %s},\n",
+               all_targets.size(), giant_unsplit.seconds, giant_split_1t.seconds,
+               giant_split_8t.seconds,
+               giant_unsplit.seconds / giant_split_8t.seconds,
+               giant_deterministic ? "true" : "false");
+  std::fprintf(out,
                "  \"steady_state_allocations\": {\"probes\": %llu, "
                "\"allocations\": %llu, \"bytes\": %llu}\n",
                static_cast<unsigned long long>(alloc_check.probes),
@@ -304,6 +348,12 @@ int main(int argc, char** argv) {
   std::fclose(out);
   std::fprintf(stderr, "wrote %s\n", out_path);
 
+  if (!giant_deterministic) {
+    std::fprintf(stderr,
+                 "FAIL: giant-shard split run changed results across thread "
+                 "counts (split_factor must be thread-count invariant)\n");
+    return 1;
+  }
   if (alloc_check.allocations != 0) {
     std::fprintf(stderr,
                  "FAIL: steady-state inject path allocated %llu times over %llu "

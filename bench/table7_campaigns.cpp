@@ -11,7 +11,14 @@
 // fresh network), so they run as shards of one ParallelCampaignRunner:
 // argv[2] picks the worker thread count (0/default = hardware), which
 // changes wall-clock only — rows are bit-identical at any thread count.
+// argv[3] picks the split_factor (default 1): each campaign's walk is
+// over-decomposed into that many deterministic subshards so a few large
+// campaigns can no longer bound the wall-clock. Like shard_count, the
+// split factor is part of the campaign spec — rows are thread-count
+// invariant at any fixed value (CI's perf-smoke runs a >1 value to guard
+// the sub-shard scheduler path).
 #include <algorithm>
+#include <cstdlib>
 #include <map>
 #include <memory>
 #include <set>
@@ -93,6 +100,8 @@ void accumulate(CampaignRow& row, const topology::TraceCollector& col,
 int main(int argc, char** argv) {
   const double scale = argc > 1 ? std::atof(argv[1]) : 0.6;
   const unsigned n_threads = argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 0;
+  const std::uint64_t split_factor =
+      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1;
   bench::World world{scale};
   const auto sets = world.all_sets(/*include_random=*/false);
   const auto& vantages = world.topo.vantages();
@@ -108,10 +117,7 @@ int main(int argc, char** argv) {
   for (const auto& ns : sets) {
     for (const auto& vantage : vantages) {
       Job job;
-      job.cfg.src = vantage.src;
-      job.cfg.pps = 1000;
-      job.cfg.max_ttl = 16;
-      job.cfg.fill_mode = true;
+      job.cfg = bench::table7_campaign_cfg(vantage.src);
       job.source = std::make_unique<prober::Yarrp6Source>(job.cfg, ns.set.addrs);
       jobs.push_back(std::move(job));
     }
@@ -126,8 +132,14 @@ int main(int argc, char** argv) {
   const campaign::ParallelCampaignRunner runner{world.topo, simnet::NetworkParams{},
                                                 n_threads};
   // Rows consume per-shard stats and collectors only — skip the merged
-  // global reply stream and its serial sort.
-  const auto parallel = runner.run(shards, {.collect_replies = false});
+  // global reply stream and its serial sort. (With split_factor > 1 the
+  // collectors are fed post-hoc in canonical subshard order.)
+  const auto parallel = runner.run(
+      shards, {.collect_replies = false, .split_factor = split_factor});
+  if (split_factor > 1)
+    std::printf("(split_factor %llu: each campaign over-decomposed into "
+                "deterministic subshards)\n",
+                static_cast<unsigned long long>(split_factor));
 
   std::vector<CampaignRow> rows;
   CampaignRow all;

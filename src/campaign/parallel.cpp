@@ -3,45 +3,102 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <thread>
 
 namespace beholder6::campaign {
+
+namespace {
+
+/// One stealable work unit: a whole (sub)shard, run start-to-finish on
+/// whichever worker claims it. Units are expanded deterministically before
+/// any worker starts, so the unit list — like the shard list — is part of
+/// the fixed campaign spec, and the claim order never touches results.
+struct WorkUnit {
+  ProbeSource* source = nullptr;  // borrowed (unsplit) or owned by `owned`
+  std::size_t parent = 0;         // index into the shard list
+  std::uint32_t subshard = 0;     // canonical index within the parent
+  bool record = false;            // record this unit's reply stream
+  bool live_sink = false;         // deliver the parent sink per reply
+};
+
+/// Everything one unit's run produces, keyed by unit index — workers share
+/// nothing mutable but the claim counter.
+struct UnitResult {
+  ProbeStats stats;
+  simnet::NetworkStats net;
+  std::vector<ShardReply> stream;
+};
+
+}  // namespace
 
 ParallelResult ParallelCampaignRunner::run(const std::vector<Shard>& shards,
                                            ParallelRunOptions options) const {
   ParallelResult result;
   result.per_shard.resize(shards.size());
   result.per_shard_net.resize(shards.size());
-  std::vector<std::vector<ShardReply>> streams(shards.size());
 
-  // One shard, start to finish, on whichever thread claims it. Every write
-  // lands in this shard's own slot, so workers share nothing mutable but
-  // the claim counter (the Topology's internal memo is lock-guarded).
-  auto run_shard = [&](std::size_t i) {
+  // Deterministic over-decomposition: expand every shard into work units
+  // up front. A split shard's sink cannot run live (its subshards execute
+  // concurrently), so such units record their reply streams for post-hoc
+  // canonical-order delivery instead.
+  std::vector<std::unique_ptr<ProbeSource>> owned;
+  std::vector<WorkUnit> units;
+  std::vector<std::size_t> first_unit(shards.size() + 1, 0);
+  for (std::size_t i = 0; i < shards.size(); ++i) {
     const Shard& shard = shards[i];
+    first_unit[i] = units.size();
+    auto children = options.split_factor > 1
+                        ? shard.source->split(options.split_factor)
+                        : std::vector<std::unique_ptr<ProbeSource>>{};
+    if (children.empty()) {
+      units.push_back({shard.source, i, 0, options.collect_replies,
+                       shard.sink != nullptr});
+    } else {
+      // A single-child "split" is still one unit: its sink stays live.
+      const bool split = children.size() > 1;
+      for (std::uint32_t j = 0; j < children.size(); ++j) {
+        units.push_back({children[j].get(), i, j,
+                         options.collect_replies ||
+                             (split && shard.sink != nullptr),
+                         !split && shard.sink != nullptr});
+        owned.push_back(std::move(children[j]));
+      }
+    }
+  }
+  first_unit[shards.size()] = units.size();
+  std::vector<UnitResult> unit_results(units.size());
+
+  // One unit, start to finish, on whichever thread claims it. Every write
+  // lands in this unit's own slot.
+  auto run_unit = [&](std::size_t u) {
+    const WorkUnit& unit = units[u];
+    const Shard& shard = shards[unit.parent];
     simnet::Network net{topo_, params_};
-    auto& stream = streams[i];
     CampaignRunner runner{net};
-    if (options.collect_replies) {
-      runner.add(*shard.source, shard.endpoint, shard.pacing,
+    auto& out = unit_results[u];
+    if (unit.record) {
+      runner.add(*unit.source, shard.endpoint, shard.pacing,
                  [&](const wire::DecodedReply& r) {
-                   stream.push_back(
-                       {net.now_us(), static_cast<std::uint32_t>(i), r});
-                   if (shard.sink) shard.sink(r);
+                   out.stream.push_back({net.now_us(),
+                                         static_cast<std::uint32_t>(unit.parent),
+                                         unit.subshard, r});
+                   if (unit.live_sink) shard.sink(r);
                  });
     } else {
-      runner.add(*shard.source, shard.endpoint, shard.pacing, shard.sink);
+      runner.add(*unit.source, shard.endpoint, shard.pacing,
+                 unit.live_sink ? shard.sink : ResponseSink{});
     }
-    result.per_shard[i] = runner.run()[0];
-    result.per_shard_net[i] = net.stats();
+    out.stats = runner.run()[0];
+    out.net = net.stats();
   };
 
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
   const std::size_t workers =
-      std::min<std::size_t>(shards.size(), n_threads_ ? n_threads_ : hw);
+      std::min<std::size_t>(units.size(), n_threads_ ? n_threads_ : hw);
   if (workers <= 1) {
-    for (std::size_t i = 0; i < shards.size(); ++i) run_shard(i);
+    for (std::size_t u = 0; u < units.size(); ++u) run_unit(u);
   } else {
     std::atomic<std::size_t> next{0};
     std::mutex error_mu;
@@ -51,10 +108,10 @@ ParallelResult ParallelCampaignRunner::run(const std::vector<Shard>& shards,
     for (std::size_t w = 0; w < workers; ++w) {
       pool.emplace_back([&] {
         for (;;) {
-          const auto i = next.fetch_add(1, std::memory_order_relaxed);
-          if (i >= shards.size()) return;
+          const auto u = next.fetch_add(1, std::memory_order_relaxed);
+          if (u >= units.size()) return;
           try {
-            run_shard(i);
+            run_unit(u);
           } catch (...) {
             const std::lock_guard<std::mutex> lock{error_mu};
             if (!error) error = std::current_exception();
@@ -66,30 +123,55 @@ ParallelResult ParallelCampaignRunner::run(const std::vector<Shard>& shards,
     if (error) std::rethrow_exception(error);
   }
 
-  // Deterministic merge: stats fold in shard order; the reply stream gets
-  // its total order from (virtual time, shard id, intra-shard arrival).
-  // Each per-shard stream is already time-sorted (virtual clocks are
-  // monotonic), so a stable sort of the shard-order concatenation realizes
-  // exactly that key.
+  // Canonical-order merge. Units are listed in (parent shard, subshard)
+  // order, so one forward fold realizes "subshards fold into their parent
+  // in subshard order; parents fold in shard order".
   std::size_t total = 0;
+  for (std::size_t u = 0; u < units.size(); ++u) {
+    auto& out = unit_results[u];
+    result.per_shard[units[u].parent] += out.stats;
+    result.per_shard_net[units[u].parent] += out.net;
+    result.elapsed_virtual_us =
+        std::max(result.elapsed_virtual_us, out.stats.elapsed_virtual_us);
+    total += out.stream.size();
+  }
   for (std::size_t i = 0; i < shards.size(); ++i) {
     result.probe_stats += result.per_shard[i];
     result.net_stats += result.per_shard_net[i];
-    result.elapsed_virtual_us = std::max(result.elapsed_virtual_us,
-                                         result.per_shard[i].elapsed_virtual_us);
-    total += streams[i].size();
   }
-  result.replies.reserve(total);
-  for (auto& stream : streams)
-    result.replies.insert(result.replies.end(),
-                          std::make_move_iterator(stream.begin()),
-                          std::make_move_iterator(stream.end()));
-  std::stable_sort(result.replies.begin(), result.replies.end(),
-                   [](const ShardReply& a, const ShardReply& b) {
-                     return a.virtual_us != b.virtual_us
-                                ? a.virtual_us < b.virtual_us
-                                : a.shard < b.shard;
-                   });
+
+  // Post-hoc sink delivery for split shards: the parent's sink sees its
+  // subshards' replies merged by (virtual time, subshard, arrival) — each
+  // unit stream is time-sorted and concatenation order is (subshard,
+  // arrival), so a stable sort on time alone realizes that key.
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    if (!shards[i].sink || first_unit[i + 1] - first_unit[i] <= 1) continue;
+    std::vector<const ShardReply*> merged;
+    for (std::size_t u = first_unit[i]; u < first_unit[i + 1]; ++u)
+      for (const auto& r : unit_results[u].stream) merged.push_back(&r);
+    std::stable_sort(merged.begin(), merged.end(),
+                     [](const ShardReply* a, const ShardReply* b) {
+                       return a->virtual_us < b->virtual_us;
+                     });
+    for (const auto* r : merged) shards[i].sink(r->reply);
+  }
+
+  // Global reply stream: concatenate in canonical unit order, then stable
+  // sort on (virtual time, parent shard) — stability preserves (subshard,
+  // arrival) among ties, realizing the documented total order.
+  if (options.collect_replies) {
+    result.replies.reserve(total);
+    for (auto& out : unit_results)
+      result.replies.insert(result.replies.end(),
+                            std::make_move_iterator(out.stream.begin()),
+                            std::make_move_iterator(out.stream.end()));
+    std::stable_sort(result.replies.begin(), result.replies.end(),
+                     [](const ShardReply& a, const ShardReply& b) {
+                       return a.virtual_us != b.virtual_us
+                                  ? a.virtual_us < b.virtual_us
+                                  : a.shard < b.shard;
+                     });
+  }
   return result;
 }
 

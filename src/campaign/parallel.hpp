@@ -11,17 +11,33 @@
 // a router's ICMPv6 rate-limit budget with themselves (each vantage's
 // probes traverse the budget independently in wall-clock time).
 //
-// Determinism contract: the shard list fixes the work; the thread count
-// fixes only the wall-clock. Every shard's run is a pure function of
-// (source, endpoint, pacing, topology seed, params), and the merge is a
-// pure function of the per-shard results:
+// Work distribution is *below* shard granularity: before any worker
+// starts, every shard's source is asked to split(split_factor) into
+// deterministic subshards (ProbeSource::split — yarrp6 partitions its
+// keyed-permutation walk with the shard/shard_count math, sequential its
+// target range; feedback-coupled sources report unsplittable and run
+// whole). The expanded (parent shard, subshard) work-unit list is the
+// queue workers steal from, so one giant shard no longer bounds the
+// campaign's wall-clock — its subshards drain across all threads.
 //
-//   * per-shard ProbeStats / NetworkStats merge by shard index (operator+=),
-//   * the global reply stream orders by (shard virtual timestamp, shard id,
-//     intra-shard arrival order) — a total order independent of scheduling.
+// Determinism contract: the shard list *and split_factor* fix the work;
+// the thread count fixes only the wall-clock. Every work unit's run is a
+// pure function of (subshard source, endpoint, pacing, topology seed,
+// params), and the merge is a pure function of the per-unit results, in
+// canonical (parent shard, subshard index) order:
 //
-// So 1, 2, and 8 threads produce bit-identical ParallelResults, and a
-// parallel run is bit-identical to running the shards one after another.
+//   * per-unit ProbeStats / NetworkStats fold into their parent shard's
+//     slot in subshard order (operator+=), parents fold in shard order,
+//   * the global reply stream orders by (subshard virtual timestamp,
+//     parent shard id, subshard index, intra-subshard arrival) — a total
+//     order independent of scheduling.
+//
+// So at any fixed split_factor, 1, 2, and 8 threads produce bit-identical
+// ParallelResults, and a parallel run is bit-identical to running the
+// work units one after another. split_factor itself is part of the
+// campaign spec, exactly like yarrp6's shard_count: changing it redraws
+// subshard boundaries (separate replicas, restarted clocks), which is a
+// different — equally deterministic — campaign.
 #pragma once
 
 #include <cstdint>
@@ -32,35 +48,55 @@
 namespace beholder6::campaign {
 
 /// One shard of a parallel campaign: a source with its wire identity and
-/// pacing, run to exhaustion on a private Network replica. The optional
-/// sink is invoked on the shard's worker thread and must touch only
-/// shard-private state (e.g. a per-shard TraceCollector merged after the
-/// run) — the merged reply stream in ParallelResult is the thread-safe way
-/// to observe the whole campaign.
+/// pacing, run to exhaustion on a private Network replica (several
+/// replicas, one per subshard, when the source splits).
+///
+/// The optional sink must touch only shard-private state (e.g. a per-shard
+/// TraceCollector merged after the run) — the merged reply stream in
+/// ParallelResult is the thread-safe way to observe the whole campaign.
+/// Delivery depends on whether the shard split:
+///   * unsplit (split_factor 1, or an unsplittable source): invoked live on
+///     the shard's worker thread, per reply, exactly as before;
+///   * split: the shard's subshards run concurrently, so live delivery
+///     would race — the sink instead runs on the thread that called run(),
+///     after all workers join, over the shard's replies merged in canonical
+///     (virtual time, subshard, arrival) order. Same replies, deterministic
+///     order, at any thread count.
 struct Shard {
-  ProbeSource* source = nullptr;
-  Endpoint endpoint;
-  PacingPolicy pacing;
-  ResponseSink sink;  // worker-thread confined; may be empty
+  ProbeSource* source = nullptr;  ///< order generator; must outlive run()
+  Endpoint endpoint;              ///< wire identity probes leave with
+  PacingPolicy pacing;            ///< clock advancement around probes
+  ResponseSink sink;              ///< shard-confined observer; may be empty
 };
 
 /// One reply tagged with its deterministic merge key.
 struct ShardReply {
-  std::uint64_t virtual_us = 0;  // delivery time on the shard's clock
-  std::uint32_t shard = 0;       // tie-break between shards
-  wire::DecodedReply reply;
+  std::uint64_t virtual_us = 0;  ///< delivery time on the subshard's clock
+  std::uint32_t shard = 0;       ///< parent shard: first tie-break
+  std::uint32_t subshard = 0;    ///< subshard within it: second tie-break
+  wire::DecodedReply reply;      ///< the decoded reply itself
 };
 
-/// The deterministically merged outcome of a sharded campaign.
+/// The deterministically merged outcome of a sharded campaign. Everything
+/// here is indexed by *parent* shard: a split shard's subshard results fold
+/// into its slot in canonical subshard order before shards fold in shard
+/// order.
 struct ParallelResult {
-  std::vector<ProbeStats> per_shard;               // parallel to the shard list
+  /// Per-shard stats, parallel to the shard list. A split shard's slot is
+  /// the operator+= fold of its subshard stats — in particular its
+  /// elapsed_virtual_us is the *sum* of subshard clocks (aggregate probing
+  /// time), not their concurrent span.
+  std::vector<ProbeStats> per_shard;
+  /// Per-shard network-replica stats, folded the same way.
   std::vector<simnet::NetworkStats> per_shard_net;
-  ProbeStats probe_stats;                          // sum over shards
-  simnet::NetworkStats net_stats;                  // sum over shards
-  /// Every reply of every shard, ordered by (virtual_us, shard, arrival).
+  ProbeStats probe_stats;          ///< sum over shards
+  simnet::NetworkStats net_stats;  ///< sum over shards
+  /// Every reply of every shard, ordered by (virtual_us, shard, subshard,
+  /// intra-subshard arrival).
   std::vector<ShardReply> replies;
-  /// Virtual duration of the slowest shard — the campaign's wall-clock
-  /// analogue when shards really run concurrently.
+  /// Virtual duration of the slowest *work unit* — the campaign's
+  /// wall-clock analogue when units really run concurrently. Splitting a
+  /// giant shard shrinks exactly this number.
   std::uint64_t elapsed_virtual_us = 0;
 };
 
@@ -70,10 +106,25 @@ struct ParallelRunOptions {
   /// that consume only per-shard sinks and stats can turn this off to skip
   /// the per-reply recording and the serial merge sort entirely
   /// (ParallelResult::replies comes back empty; everything else is
-  /// unchanged and still bit-identical across thread counts).
+  /// unchanged and still bit-identical across thread counts). Split shards
+  /// with sinks still record internally — their post-hoc sink delivery
+  /// needs the canonical order — but the global stream stays empty.
   bool collect_replies = true;
+  /// Deterministic over-decomposition: every shard's source is asked to
+  /// split(split_factor) before any worker starts, and workers steal whole
+  /// subshards. Part of the campaign spec, like yarrp6's shard_count: at a
+  /// fixed value, results are bit-identical across thread counts; changing
+  /// it is a (deterministic) respecification. 1 — and any source that
+  /// reports unsplittable — keeps the classic one-unit-per-shard behavior.
+  std::uint64_t split_factor = 1;
 };
 
+/// Scales campaigns across OS threads: expands shards into deterministic
+/// (parent, subshard) work units via ProbeSource::split, runs each unit on
+/// its own CampaignRunner over a private Network replica, and merges in
+/// canonical order — so the shard list + split_factor fix the results and
+/// the thread count fixes only the wall-clock (see the file header for the
+/// full contract).
 class ParallelCampaignRunner {
  public:
   /// Shards run over replicas of Network(topo, params). `n_threads` = 0
@@ -92,11 +143,15 @@ class ParallelCampaignRunner {
       : ParallelCampaignRunner(prototype.topology(), prototype.params(),
                                n_threads) {}
 
-  /// Drive every shard to exhaustion and merge. Sources must be distinct
-  /// objects (each is polled from its own worker thread).
+  /// Expand shards into (parent, subshard) work units per
+  /// options.split_factor, drive every unit to exhaustion across the worker
+  /// pool, and merge in canonical order. Sources must be distinct, pristine
+  /// objects (a splitting source is never begun itself — its children run
+  /// in its place).
   [[nodiscard]] ParallelResult run(const std::vector<Shard>& shards,
                                    ParallelRunOptions options = {}) const;
 
+  /// Configured worker-pool size (0 = hardware concurrency at run time).
   [[nodiscard]] unsigned n_threads() const { return n_threads_; }
 
  private:

@@ -19,7 +19,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
+#include <vector>
 
 #include "netbase/ipv6.hpp"
 #include "wire/probe.hpp"
@@ -138,6 +140,36 @@ class ProbeSource {
   /// feedback may simply return their most likely candidate.
   [[nodiscard]] virtual std::optional<Ipv6Addr> next_target_hint() const {
     return std::nullopt;
+  }
+
+  /// Deterministic over-decomposition: pre-partition this source's work
+  /// into up to `k` independent subshard sources, so a parallel backend can
+  /// distribute one shard's work below shard granularity (the returned
+  /// sources are whole work units that workers may steal and run
+  /// concurrently, each on its own network replica).
+  ///
+  /// Contract:
+  ///   * May only be called on a *pristine* source — constructed but never
+  ///     begun. The source itself is not mutated (it is simply never run
+  ///     when a backend adopts its children instead).
+  ///   * The partition must be a pure function of (construction parameters,
+  ///     k): same source spec + same k ⇒ the same children, always. That is
+  ///     what lets `k` join the campaign *spec* (like yarrp6's
+  ///     shard/shard_count) while thread count stays a wall-clock-only knob.
+  ///   * Children indexed 0..n-1 jointly cover exactly the parent's work;
+  ///     their ProbeSource::finish() contributions must *sum* to the
+  ///     parent's (e.g. exactly one child reports a shared trace count).
+  ///   * Children may alias the parent's referenced storage (target spans),
+  ///     which the caller already keeps alive for the campaign's duration;
+  ///     they must not share mutable state with each other.
+  ///
+  /// Feedback-coupled sources (e.g. a shared stop set) are *unsplittable*:
+  /// return an empty vector — the default — and backends fall back to
+  /// running the source whole, as one work unit.
+  [[nodiscard]] virtual std::vector<std::unique_ptr<ProbeSource>> split(
+      std::uint64_t k) const {
+    (void)k;
+    return {};
   }
 };
 

@@ -85,8 +85,17 @@ bool inject_probe(simnet::Network& net, const Endpoint& endpoint,
                           std::forward<ReplyFn>(on_reply));
 }
 
+/// The event-driven scheduling core: drives any number of ProbeSources
+/// over one simnet::Network from a min-heap of (due virtual time, sequence)
+/// send slots, owning pacing, encode/inject, reply decode + dispatch, and
+/// per-campaign ProbeStats. Deterministic: results are a pure function of
+/// (sources, endpoints, pacing, network); heap ties resolve in add() order.
+/// One runner is single-threaded by design — parallelism lives a layer up,
+/// in ParallelCampaignRunner, which runs one of these per work unit.
 class CampaignRunner {
  public:
+  /// The runner injects into (and advances the clock of) `net`, which must
+  /// outlive it.
   explicit CampaignRunner(simnet::Network& net) : net_(net) {}
 
   /// Register a source. The source (and sink) must outlive the runner. The

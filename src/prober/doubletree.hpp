@@ -52,6 +52,16 @@ class DoubletreeSource final : public campaign::ProbeSource {
                      std::uint64_t now_us) override;
   void finish(campaign::ProbeStats& stats) const override;
 
+  /// Unsplittable, explicitly: every trace reads and grows the shared stop
+  /// set, so any sub-partition run on concurrent replicas would change
+  /// which probes are elided — there is no feedback-free cut. Parallel
+  /// backends fall back to running a Doubletree shard whole.
+  [[nodiscard]] std::vector<std::unique_ptr<campaign::ProbeSource>> split(
+      std::uint64_t k) const override {
+    (void)k;
+    return {};
+  }
+
  private:
   enum class Phase : std::uint8_t { kForward, kBackward, kDone };
   struct TraceState {

@@ -41,7 +41,10 @@ MultiVantageResult run_multi_vantage(simnet::Network& net,
     }
     campaign::ParallelCampaignRunner parallel{net, options.n_threads};
     // Replies flow through the per-shard collectors; skip the merged stream.
-    auto merged = parallel.run(shards, {.collect_replies = false});
+    // (With split_factor > 1 each vantage's collector is fed post-hoc in
+    // canonical subshard order — still deterministic at any thread count.)
+    auto merged = parallel.run(shards, {.collect_replies = false,
+                                        .split_factor = options.split_factor});
     result.per_vantage = std::move(merged.per_shard);
     for (const auto& c : collectors) result.collector.merge(c);
     return result;

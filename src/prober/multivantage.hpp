@@ -48,6 +48,12 @@ struct MultiVantageOptions {
   /// thread count changes wall-clock only, never results; `interleave` is
   /// ignored, as replica shards are independent by construction.
   unsigned n_threads = 0;
+  /// Parallel backend only (n_threads > 0): over-decompose every vantage's
+  /// walk into this many deterministic subshards
+  /// (campaign::ParallelRunOptions::split_factor), so fewer vantages than
+  /// threads still fill the pool. Part of the campaign spec, like the
+  /// vantage count: results are thread-count-invariant at any fixed value.
+  std::uint64_t split_factor = 1;
 };
 
 struct MultiVantageResult {

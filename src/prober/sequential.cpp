@@ -76,6 +76,22 @@ void SequentialSource::finish(campaign::ProbeStats& stats) const {
   stats.traces = targets_.size();
 }
 
+std::vector<std::unique_ptr<campaign::ProbeSource>> SequentialSource::split(
+    std::uint64_t k) const {
+  std::vector<std::unique_ptr<campaign::ProbeSource>> children;
+  if (k <= 1 || targets_.size() <= 1) return children;
+  const std::uint64_t n = targets_.size();
+  const std::uint64_t pieces = std::min<std::uint64_t>(k, n);
+  children.reserve(pieces);
+  for (std::uint64_t i = 0; i < pieces; ++i) {
+    const auto lo = static_cast<std::size_t>(i * n / pieces);
+    const auto hi = static_cast<std::size_t>((i + 1) * n / pieces);
+    children.push_back(
+        std::make_unique<SequentialSource>(cfg_, targets_.subspan(lo, hi - lo)));
+  }
+  return children;
+}
+
 ProbeStats SequentialProber::run(simnet::Network& net,
                                  const std::vector<Ipv6Addr>& targets,
                                  const ResponseSink& sink) {

@@ -43,6 +43,15 @@ class SequentialSource final : public campaign::ProbeSource {
                      std::uint64_t now_us) override;
   void finish(campaign::ProbeStats& stats) const override;
 
+  /// Deterministic over-decomposition by target range: child i of k traces
+  /// the i-th contiguous slice of the target list (balanced to within one
+  /// target), with the parent's window/pacing config. Per-trace state never
+  /// crosses targets, so the children jointly trace exactly the parent's
+  /// list — but window boundaries restart per child, which is why k is part
+  /// of the campaign spec. Fewer than two targets: unsplittable (empty).
+  [[nodiscard]] std::vector<std::unique_ptr<campaign::ProbeSource>> split(
+      std::uint64_t k) const override;
+
  private:
   struct TraceState {
     bool done = false;

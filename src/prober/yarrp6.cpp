@@ -1,5 +1,7 @@
 #include "prober/yarrp6.hpp"
 
+#include <algorithm>
+
 #include "campaign/runner.hpp"
 
 namespace beholder6::prober {
@@ -96,8 +98,36 @@ void Yarrp6Source::on_probe_done(const campaign::Probe& probe, bool answered,
 }
 
 void Yarrp6Source::finish(campaign::ProbeStats& stats) const {
-  stats.traces = targets_.size();
+  if (report_traces_) stats.traces = targets_.size();
   stats.neighborhood_skips = skips_;
+}
+
+std::vector<std::unique_ptr<campaign::ProbeSource>> Yarrp6Source::split(
+    std::uint64_t k) const {
+  std::vector<std::unique_ptr<campaign::ProbeSource>> children;
+  if (k <= 1) return children;
+  const std::uint64_t stride = cfg_.shard_count ? cfg_.shard_count : 1;
+  // Clamp to the walk's own position count: children beyond it would be
+  // born exhausted yet still cost a full network replica each.
+  const std::uint64_t domain = targets_.size() * cfg_.max_ttl;
+  const std::uint64_t positions =
+      cfg_.shard < domain ? (domain - cfg_.shard + stride - 1) / stride : 0;
+  k = std::min(k, positions);
+  if (k <= 1) return children;  // 0 or 1 position: run the source whole
+  children.reserve(k);
+  for (std::uint64_t i = 0; i < k; ++i) {
+    Yarrp6Config sub = cfg_;
+    sub.shard = cfg_.shard + i * stride;
+    sub.shard_count = stride * k;
+    auto child = std::make_unique<Yarrp6Source>(sub, targets_);
+    // The trace count is a property of the whole walk; exactly one child
+    // contributes it so the parent-level fold equals the unsplit value —
+    // including under re-splitting, where a non-reporting parent's
+    // children must all stay non-reporting.
+    child->report_traces_ = report_traces_ && i == 0;
+    children.push_back(std::move(child));
+  }
+  return children;
 }
 
 std::optional<Ipv6Addr> Yarrp6Source::next_target_hint() const {

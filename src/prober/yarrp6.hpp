@@ -65,8 +65,25 @@ class Yarrp6Source final : public campaign::ProbeSource {
   void finish(campaign::ProbeStats& stats) const override;
   [[nodiscard]] std::optional<Ipv6Addr> next_target_hint() const override;
 
+  /// Deterministic over-decomposition by stride multiplication — the same
+  /// math that backs shard/shard_count: child i of k walks permuted indices
+  /// shard + i·shard_count, stepping by shard_count·k. For a full walk
+  /// (shard 0 of 1), split(k) therefore *is* the classic shard/shard_count
+  /// partition: child i ≡ {shard = i, shard_count = k}. Children jointly
+  /// visit exactly the parent's cells; fill chains ride inside the child
+  /// that emitted the horizon probe (as they already do across manual
+  /// shards), and neighborhood bookkeeping is child-private — which is why
+  /// k is part of the campaign spec, not a free performance knob. Child 0
+  /// alone reports the shared trace count, so parent-level stats fold to
+  /// the unsplit value. k clamps to the walk's remaining position count
+  /// (children past it would be born exhausted); 0 or 1 positions report
+  /// unsplittable.
+  [[nodiscard]] std::vector<std::unique_ptr<campaign::ProbeSource>> split(
+      std::uint64_t k) const override;
+
  private:
   Yarrp6Config cfg_;
+  bool report_traces_ = true;  // split(): only child 0 reports traces
   std::span<const Ipv6Addr> targets_;
   std::optional<Permutation> perm_;
   std::uint64_t domain_ = 0;

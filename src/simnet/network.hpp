@@ -144,6 +144,12 @@ class Network {
   /// wire-format replies, valid until the next inject*/reset call on this
   /// Network. The packet's source address selects the vantage (must be
   /// registered in the topology). This is the allocation-free fast path.
+  ///
+  /// Non-reentrancy rule: the returned span (and the observer's reply span)
+  /// aliases this Network's shared packet pool, so a ResponseSink, probe
+  /// observer, or any code running under this call must NOT inject into the
+  /// same Network — that would recycle the buffers mid-dispatch. Asserted in
+  /// debug builds; observe, record, steer from callbacks, inject later.
   std::span<const Packet> inject_view(const Packet& probe);
 
   /// Compatibility shim over inject_view: copies the replies out.
@@ -154,7 +160,8 @@ class Network {
   /// identical to calling inject_view() in a loop — this is the batching
   /// hook for backends that amortize per-call overhead (and for line-rate
   /// burst emitters). The returned view is valid until the next
-  /// inject*/reset call.
+  /// inject*/reset call, and the same non-reentrancy rule as inject_view
+  /// applies: callbacks must not inject into this Network.
   const BatchReplies& inject_batch_view(std::span<const Packet> probes);
 
   /// Compatibility shim over inject_batch_view (copies everything out).

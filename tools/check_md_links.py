@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Fail on broken relative links in the repository's Markdown files.
+
+The docs CI job runs this from anywhere (paths resolve against the repo
+root, one directory above this script). Checks every `[text](target)`
+and `![alt](target)` whose target is not an absolute URL or a bare
+anchor: the referenced file must exist relative to the Markdown file's
+own directory (a `#fragment` suffix is stripped first). Fenced code
+blocks are skipped, so quoted/quarantined content cannot trip it.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(\s*([^)\s]+)(?:\s+\"[^\"]*\")?\s*\)")
+EXTERNAL = ("http://", "https://", "mailto:", "ftp://", "#")
+SKIP_DIRS = ("build", ".git", ".claude")
+
+
+def links_in(md: Path):
+    """Yield (line number, link target) outside fenced code blocks."""
+    in_fence = False
+    for lineno, line in enumerate(
+        md.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            yield lineno, match.group(1)
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    broken = []
+    checked = 0
+    for md in sorted(root.rglob("*.md")):
+        rel = md.relative_to(root)
+        if any(part.startswith(SKIP_DIRS) for part in rel.parts[:-1]):
+            continue
+        for lineno, target in links_in(md):
+            if target.startswith(EXTERNAL):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            checked += 1
+            if not (md.parent / path).exists():
+                broken.append(f"{rel}:{lineno}: broken relative link '{target}'")
+    for line in broken:
+        print(line)
+    print(f"checked {checked} relative links, {len(broken)} broken")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
