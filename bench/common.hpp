@@ -9,7 +9,9 @@
 #include <string>
 #include <vector>
 
+#include "campaign/parallel.hpp"
 #include "campaign/runner.hpp"
+#include "netbase/rng.hpp"
 #include "prober/yarrp6.hpp"
 #include "seeds/sources.hpp"
 #include "simnet/network.hpp"
@@ -38,6 +40,24 @@ struct NamedSet {
   cfg.max_ttl = 16;
   cfg.fill_mode = true;
   return cfg;
+}
+
+/// Order-sensitive digest of a merged reply stream — the determinism
+/// fingerprint the parallel-backend benches compare across thread counts.
+/// One definition so every bench's gate covers the same fields.
+[[nodiscard]] inline std::uint64_t reply_digest(
+    const std::vector<campaign::ShardReply>& replies) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (const auto& r : replies) {
+    h = splitmix64(h ^ r.virtual_us);
+    h = splitmix64(h ^ r.shard);
+    h = splitmix64(h ^ r.subshard);
+    h = splitmix64(h ^ Ipv6AddrHash{}(r.reply.responder));
+    h = splitmix64(h ^ static_cast<std::uint64_t>(r.reply.type));
+    h = splitmix64(h ^ r.reply.probe.ttl);
+    h = splitmix64(h ^ r.reply.rtt_us);
+  }
+  return h;
 }
 
 /// Concatenate every set's targets: the giant-single-shard workload (one

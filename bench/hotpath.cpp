@@ -15,6 +15,13 @@
 //             span inject, collectors only (1 worker thread);
 //   threads — the fast configuration at 1/2/8 worker threads.
 //
+// Two scheduler guards ride along: "giant_shard" (one yarrp6 walk over
+// everything, unsplit vs split_factor 8) and "doubletree_split" (one
+// Doubletree campaign over everything as an epoch-snapshotted split
+// family — the historically unsplittable source). Both sections carry a
+// thread-invariance gate and the bench exits nonzero if any split run
+// diverges across thread counts.
+//
 // It also *verifies* the zero-allocation claim: a global operator
 // new/delete hook counts heap allocations across a steady-state window
 // (second pass over an already-warm Network), and the bench exits nonzero
@@ -37,6 +44,7 @@
 #include "bench/common.hpp"
 #include "campaign/parallel.hpp"
 #include "campaign/runner.hpp"
+#include "prober/doubletree.hpp"
 #include "prober/yarrp6.hpp"
 #include "topology/collector.hpp"
 
@@ -49,6 +57,13 @@ namespace {
 std::atomic<std::uint64_t> g_allocs{0};
 std::atomic<std::uint64_t> g_alloc_bytes{0};
 }  // namespace
+
+// GCC pairs the *replaced* operator new with the library free() it can
+// see through it and warns about the mismatch; pairing malloc-backed new
+// with free-backed delete is exactly the point of the hook.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
 
 void* operator new(std::size_t n) {
   g_allocs.fetch_add(1, std::memory_order_relaxed);
@@ -274,6 +289,59 @@ int main(int argc, char** argv) {
                giant_unsplit.seconds / giant_split_8t.seconds,
                giant_deterministic ? "" : "DETERMINISM MISMATCH");
 
+  // Epoch-snapshotted Doubletree: the last source that used to run whole
+  // (shared stop set = unsplittable) now splits into an epoch-coupled
+  // family. One giant Doubletree shard, unsplit vs split_factor 4 at
+  // 1/2/8 threads: the slowest work unit's *virtual* time must drop with
+  // the split factor, and — the determinism gate CI leans on — the split
+  // runs must be identical across thread counts.
+  auto giant_doubletree = [&](std::uint64_t split, unsigned threads) {
+    prober::DoubletreeConfig cfg;
+    cfg.src = world.topo.vantages()[0].src;
+    cfg.pps = 1000;
+    cfg.max_ttl = 16;
+    cfg.start_ttl = 6;
+    prober::StopSet stop_set;
+    prober::DoubletreeSource source{cfg, all_targets, stop_set};
+    const std::vector<campaign::Shard> shards{
+        {&source, cfg.endpoint(), cfg.pacing(), {}}};
+    const campaign::ParallelCampaignRunner runner{world.topo,
+                                                  simnet::NetworkParams{}, threads};
+    struct Out {
+      Measured m;
+      campaign::ProbeStats stats;
+      std::uint64_t slowest_unit_virtual_us = 0;
+    } out;
+    const auto t0 = Clock::now();
+    const auto result = runner.run(
+        shards, {.collect_replies = false, .split_factor = split});
+    out.m.seconds = secs_since(t0);
+    out.m.probes = result.net_stats.probes;
+    out.m.net_stats = result.net_stats;
+    out.stats = result.probe_stats;
+    out.slowest_unit_virtual_us = result.elapsed_virtual_us;
+    return out;
+  };
+  const auto dt_unsplit = giant_doubletree(1, 1);
+  const auto dt_split_1t = giant_doubletree(4, 1);
+  const auto dt_split_2t = giant_doubletree(4, 2);
+  const auto dt_split_8t = giant_doubletree(4, 8);
+  const bool dt_deterministic =
+      dt_split_1t.m.net_stats == dt_split_2t.m.net_stats &&
+      dt_split_1t.stats == dt_split_2t.stats &&
+      dt_split_1t.m.net_stats == dt_split_8t.m.net_stats &&
+      dt_split_1t.stats == dt_split_8t.stats;
+  std::fprintf(stderr,
+               "doubletree: unsplit slowest-unit %.1fs virtual, split4 %.1fs "
+               "(%.2fx); split4 1t %.3fs / 2t %.3fs / 8t %.3fs wall %s\n",
+               static_cast<double>(dt_unsplit.slowest_unit_virtual_us) / 1e6,
+               static_cast<double>(dt_split_1t.slowest_unit_virtual_us) / 1e6,
+               static_cast<double>(dt_unsplit.slowest_unit_virtual_us) /
+                   static_cast<double>(
+                       std::max<std::uint64_t>(1, dt_split_1t.slowest_unit_virtual_us)),
+               dt_split_1t.m.seconds, dt_split_2t.m.seconds, dt_split_8t.m.seconds,
+               dt_deterministic ? "" : "DETERMINISM MISMATCH");
+
   const auto hits = fast.net_stats.route_cache_hits;
   const auto misses = fast.net_stats.route_cache_misses;
   const double hit_rate =
@@ -339,6 +407,27 @@ int main(int argc, char** argv) {
                giant_unsplit.seconds / giant_split_8t.seconds,
                giant_deterministic ? "true" : "false");
   std::fprintf(out,
+               "  \"doubletree_split\": {\"desc\": \"one Doubletree campaign "
+               "over all targets as an epoch-snapshotted split family "
+               "(SnapshotStopSet): slowest-work-unit virtual time vs "
+               "split_factor, with a 1/2/8-thread invariance gate\", "
+               "\"targets\": %zu, \"split_factor\": 4, "
+               "\"unsplit_slowest_unit_virtual_s\": %.3f, "
+               "\"split4_slowest_unit_virtual_s\": %.3f, "
+               "\"virtual_time_ratio\": %.2f, "
+               "\"split4_1thread_seconds\": %.3f, "
+               "\"split4_2threads_seconds\": %.3f, "
+               "\"split4_8threads_seconds\": %.3f, "
+               "\"thread_invariant\": %s},\n",
+               all_targets.size(),
+               static_cast<double>(dt_unsplit.slowest_unit_virtual_us) / 1e6,
+               static_cast<double>(dt_split_1t.slowest_unit_virtual_us) / 1e6,
+               static_cast<double>(dt_unsplit.slowest_unit_virtual_us) /
+                   static_cast<double>(
+                       std::max<std::uint64_t>(1, dt_split_1t.slowest_unit_virtual_us)),
+               dt_split_1t.m.seconds, dt_split_2t.m.seconds, dt_split_8t.m.seconds,
+               dt_deterministic ? "true" : "false");
+  std::fprintf(out,
                "  \"steady_state_allocations\": {\"probes\": %llu, "
                "\"allocations\": %llu, \"bytes\": %llu}\n",
                static_cast<unsigned long long>(alloc_check.probes),
@@ -352,6 +441,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "FAIL: giant-shard split run changed results across thread "
                  "counts (split_factor must be thread-count invariant)\n");
+    return 1;
+  }
+  if (!dt_deterministic) {
+    std::fprintf(stderr,
+                 "FAIL: split Doubletree run changed results across thread "
+                 "counts (the epoch barrier must make the family "
+                 "thread-count invariant)\n");
     return 1;
   }
   if (alloc_check.allocations != 0) {

@@ -17,6 +17,13 @@
 // split factor is part of the campaign spec — rows are thread-count
 // invariant at any fixed value (CI's perf-smoke runs a >1 value to guard
 // the sub-shard scheduler path).
+//
+// With split_factor > 1 the bench appends a Doubletree baseline appendix:
+// one stop-set campaign over the caida z64 set run twice, at 1 and 2
+// worker threads, through the epoch-snapshotted split family — and exits
+// nonzero unless the two reports are identical. That is CI's regression
+// gate for the EpochBarrier scheduler (Doubletree used to be the one
+// source that fell back to whole-shard runs).
 #include <algorithm>
 #include <cstdlib>
 #include <map>
@@ -26,6 +33,7 @@
 #include "bench/common.hpp"
 #include "campaign/parallel.hpp"
 #include "netbase/eui64.hpp"
+#include "prober/doubletree.hpp"
 
 using namespace beholder6;
 
@@ -241,5 +249,50 @@ int main(int argc, char** argv) {
       " last hop (offsets ~0); caida/fiebig trail; z64 >= z48 per list;\n"
       "the long-premise vantage (US-EDU-2) yields fewer interfaces than the"
       " other two.\n");
+
+  // ---- Doubletree appendix (split_factor > 1 only): the §4.2 baseline ----
+  // through the epoch-snapshotted split family, once at 1 and once at 2
+  // worker threads. The two reports — probe stats, network stats, and an
+  // order-sensitive digest of the merged reply stream — must be identical,
+  // or the EpochBarrier scheduler broke its determinism contract.
+  if (split_factor > 1) {
+    const auto caida = world.synth("caida", 64);
+    auto doubletree_report = [&](unsigned threads) {
+      prober::DoubletreeConfig cfg;
+      cfg.src = vantages[0].src;
+      cfg.pps = 1000;
+      cfg.max_ttl = 16;
+      cfg.start_ttl = 6;
+      prober::StopSet stop_set;
+      prober::DoubletreeSource source{cfg, caida.set.addrs, stop_set};
+      const std::vector<campaign::Shard> shards{
+          {&source, cfg.endpoint(), cfg.pacing(), {}}};
+      const campaign::ParallelCampaignRunner dt_runner{
+          world.topo, simnet::NetworkParams{}, threads};
+      const auto result = dt_runner.run(shards, {.split_factor = split_factor});
+      const std::uint64_t digest = bench::reply_digest(result.replies);
+      struct Report {
+        prober::ProbeStats stats;
+        simnet::NetworkStats net;
+        std::uint64_t digest;
+        std::size_t stop_set_size;
+      };
+      return Report{result.probe_stats, result.net_stats, digest,
+                    stop_set.size()};
+    };
+    const auto one = doubletree_report(1);
+    const auto two = doubletree_report(2);
+    const bool identical = one.stats == two.stats && one.net == two.net &&
+                           one.digest == two.digest &&
+                           one.stop_set_size == two.stop_set_size;
+    std::printf("\nDoubletree appendix (caida z64, split_factor %llu): "
+                "%llu probes, %llu replies, stop set %zu — 1 vs 2 threads %s\n",
+                static_cast<unsigned long long>(split_factor),
+                static_cast<unsigned long long>(one.stats.probes_sent),
+                static_cast<unsigned long long>(one.stats.replies),
+                one.stop_set_size,
+                identical ? "identical" : "MISMATCH (bug!)");
+    if (!identical) return 1;
+  }
   return 0;
 }

@@ -1,7 +1,8 @@
 #include "campaign/parallel.hpp"
 
 #include <algorithm>
-#include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <exception>
 #include <memory>
 #include <mutex>
@@ -11,24 +12,49 @@ namespace beholder6::campaign {
 
 namespace {
 
-/// One stealable work unit: a whole (sub)shard, run start-to-finish on
-/// whichever worker claims it. Units are expanded deterministically before
-/// any worker starts, so the unit list — like the shard list — is part of
-/// the fixed campaign spec, and the claim order never touches results.
+/// One stealable work unit: a whole (sub)shard. Free-running units are run
+/// start-to-finish on whichever worker claims them. Units of an *epoch
+/// family* (split children sharing an EpochBarrier) are claimed the same
+/// way but run one epoch at a time: a worker drives the unit until it
+/// pauses at its epoch boundary (or exhausts), and the family's last
+/// arrival performs the canonical barrier merge and requeues the rest.
+/// Units are expanded deterministically before any worker starts, so the
+/// unit list — like the shard list — is part of the fixed campaign spec,
+/// and the claim order never touches results.
 struct WorkUnit {
   ProbeSource* source = nullptr;  // borrowed (unsplit) or owned by `owned`
   std::size_t parent = 0;         // index into the shard list
   std::uint32_t subshard = 0;     // canonical index within the parent
   bool record = false;            // record this unit's reply stream
   bool live_sink = false;         // deliver the parent sink per reply
+  std::int32_t family = -1;       // epoch family index, -1 = free-running
 };
 
 /// Everything one unit's run produces, keyed by unit index — workers share
-/// nothing mutable but the claim counter.
+/// nothing mutable but the scheduler's queue state (under its mutex).
 struct UnitResult {
   ProbeStats stats;
   simnet::NetworkStats net;
   std::vector<ShardReply> stream;
+};
+
+/// Replica + runner that must survive across a unit's epochs. Free units
+/// keep the cheaper stack-local form; only epoch-family units pay for a
+/// persistent context (created lazily, on the worker that first claims the
+/// unit, and handed between workers through the scheduler mutex).
+struct EpochUnitContext {
+  std::unique_ptr<simnet::Network> net;
+  std::unique_ptr<CampaignRunner> runner;
+};
+
+/// One split family driven in lockstep epochs. `arrived`/`active` are
+/// touched only under the scheduler mutex; the merge itself runs with
+/// every member quiescent, so the family's shared stop-set state needs no
+/// locking of its own.
+struct EpochFamily {
+  EpochBarrier* barrier = nullptr;
+  std::vector<std::size_t> members;  // unit indexes, canonical order
+  std::size_t arrived = 0;           // members paused/exhausted this epoch
 };
 
 }  // namespace
@@ -42,9 +68,11 @@ ParallelResult ParallelCampaignRunner::run(const std::vector<Shard>& shards,
   // Deterministic over-decomposition: expand every shard into work units
   // up front. A split shard's sink cannot run live (its subshards execute
   // concurrently), so such units record their reply streams for post-hoc
-  // canonical-order delivery instead.
+  // canonical-order delivery instead. Split children that share an
+  // EpochBarrier form an epoch family, scheduled in lockstep epochs.
   std::vector<std::unique_ptr<ProbeSource>> owned;
   std::vector<WorkUnit> units;
+  std::vector<EpochFamily> families;
   std::vector<std::size_t> first_unit(shards.size() + 1, 0);
   for (std::size_t i = 0; i < shards.size(); ++i) {
     const Shard& shard = shards[i];
@@ -54,25 +82,37 @@ ParallelResult ParallelCampaignRunner::run(const std::vector<Shard>& shards,
                         : std::vector<std::unique_ptr<ProbeSource>>{};
     if (children.empty()) {
       units.push_back({shard.source, i, 0, options.collect_replies,
-                       shard.sink != nullptr});
+                       shard.sink != nullptr, -1});
     } else {
       // A single-child "split" is still one unit: its sink stays live.
       const bool split = children.size() > 1;
+      // Epoch-coupled children all return their family's one barrier; a
+      // mixed family would be a broken split() implementation.
+      EpochBarrier* barrier = children[0]->epoch_barrier();
+      std::int32_t family = -1;
+      if (barrier != nullptr) {
+        family = static_cast<std::int32_t>(families.size());
+        families.push_back({barrier, {}, 0});
+      }
       for (std::uint32_t j = 0; j < children.size(); ++j) {
+        if (family >= 0)
+          families.back().members.push_back(units.size());
         units.push_back({children[j].get(), i, j,
                          options.collect_replies ||
                              (split && shard.sink != nullptr),
-                         !split && shard.sink != nullptr});
+                         !split && shard.sink != nullptr, family});
         owned.push_back(std::move(children[j]));
       }
     }
   }
   first_unit[shards.size()] = units.size();
   std::vector<UnitResult> unit_results(units.size());
+  std::vector<EpochUnitContext> epoch_ctx(units.size());
 
-  // One unit, start to finish, on whichever thread claims it. Every write
-  // lands in this unit's own slot.
-  auto run_unit = [&](std::size_t u) {
+  // One free-running unit, start to finish, on whichever thread claims it.
+  // Every write lands in this unit's own slot. This is the classic unsplit
+  // path: live sink delivery, stack-local replica, unchanged behavior.
+  auto run_free_unit = [&](std::size_t u) {
     const WorkUnit& unit = units[u];
     const Shard& shard = shards[unit.parent];
     simnet::Network net{topo_, params_};
@@ -94,34 +134,118 @@ ParallelResult ParallelCampaignRunner::run(const std::vector<Shard>& shards,
     out.net = net.stats();
   };
 
+  // Drive an epoch-family unit for one epoch: resume it if paused, step
+  // until the next epoch boundary or exhaustion. Returns true once the
+  // unit is exhausted (its results are then final).
+  auto drive_epoch_unit = [&](std::size_t u) -> bool {
+    const WorkUnit& unit = units[u];
+    const Shard& shard = shards[unit.parent];
+    auto& ctx = epoch_ctx[u];
+    auto& out = unit_results[u];
+    if (!ctx.runner) {
+      ctx.net = std::make_unique<simnet::Network>(topo_, params_);
+      ctx.runner = std::make_unique<CampaignRunner>(*ctx.net);
+      simnet::Network* net = ctx.net.get();
+      if (unit.record) {
+        ctx.runner->add(*unit.source, shard.endpoint, shard.pacing,
+                        [&out, &unit, &shard, net](const wire::DecodedReply& r) {
+                          out.stream.push_back(
+                              {net->now_us(),
+                               static_cast<std::uint32_t>(unit.parent),
+                               unit.subshard, r});
+                          if (unit.live_sink) shard.sink(r);
+                        });
+      } else {
+        ctx.runner->add(*unit.source, shard.endpoint, shard.pacing,
+                        unit.live_sink ? shard.sink : ResponseSink{});
+      }
+    }
+    if (unit.source->epoch_paused()) unit.source->epoch_resume();
+    while (!ctx.runner->done()) {
+      ctx.runner->step();
+      if (unit.source->epoch_paused()) return false;  // barrier arrival
+    }
+    out.stats = ctx.runner->stats()[0];
+    out.net = ctx.net->stats();
+    // Release the persistent replica as early as the free-unit path does
+    // (runner first — it borrows the network).
+    ctx.runner.reset();
+    ctx.net.reset();
+    return true;
+  };
+
+  // Scheduler: a FIFO of claimable unit indexes under one mutex. Free
+  // units leave the queue once; epoch units cycle through it once per
+  // epoch, re-enqueued by their family's barrier merge. The claim order
+  // never touches results (free units are independent; epoch merges are
+  // ordered by the barrier protocol, not by arrival).
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::size_t> ready;
+  for (std::size_t u = 0; u < units.size(); ++u) ready.push_back(u);
+  std::size_t unfinished = units.size();
+  std::vector<char> exhausted(units.size(), 0);
+  std::exception_ptr error;
+
+  auto worker = [&] {
+    std::unique_lock<std::mutex> lock{mu};
+    for (;;) {
+      cv.wait(lock, [&] { return !ready.empty() || unfinished == 0 || error; });
+      if (error || unfinished == 0) return;
+      const std::size_t u = ready.front();
+      ready.pop_front();
+      lock.unlock();
+
+      bool done = false;
+      try {
+        if (units[u].family < 0) {
+          run_free_unit(u);
+          done = true;
+        } else {
+          done = drive_epoch_unit(u);
+        }
+      } catch (...) {
+        lock.lock();
+        if (!error) error = std::current_exception();
+        cv.notify_all();
+        return;
+      }
+
+      lock.lock();
+      if (done) {
+        exhausted[u] = 1;
+        --unfinished;
+      }
+      if (units[u].family >= 0) {
+        // Barrier arrival. The family's last arrival merges the epoch
+        // deltas (every sibling is quiescent — it paused or exhausted
+        // before reporting in under this mutex, which is also what makes
+        // its delta writes visible here) and requeues the survivors.
+        EpochFamily& fam = families[static_cast<std::size_t>(units[u].family)];
+        if (++fam.arrived == fam.members.size()) {
+          fam.barrier->merge_epoch();
+          fam.arrived = 0;
+          std::erase_if(fam.members,
+                        [&](std::size_t m) { return exhausted[m] != 0; });
+          for (const std::size_t m : fam.members) ready.push_back(m);
+        }
+      }
+      cv.notify_all();
+    }
+  };
+
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
   const std::size_t workers =
       std::min<std::size_t>(units.size(), n_threads_ ? n_threads_ : hw);
   if (workers <= 1) {
-    for (std::size_t u = 0; u < units.size(); ++u) run_unit(u);
+    worker();
   } else {
-    std::atomic<std::size_t> next{0};
-    std::mutex error_mu;
-    std::exception_ptr error;
     std::vector<std::thread> pool;
     pool.reserve(workers);
-    for (std::size_t w = 0; w < workers; ++w) {
-      pool.emplace_back([&] {
-        for (;;) {
-          const auto u = next.fetch_add(1, std::memory_order_relaxed);
-          if (u >= units.size()) return;
-          try {
-            run_unit(u);
-          } catch (...) {
-            const std::lock_guard<std::mutex> lock{error_mu};
-            if (!error) error = std::current_exception();
-          }
-        }
-      });
-    }
+    for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker);
     for (auto& t : pool) t.join();
-    if (error) std::rethrow_exception(error);
   }
+  if (error) std::rethrow_exception(error);
 
   // Canonical-order merge. Units are listed in (parent shard, subshard)
   // order, so one forward fold realizes "subshards fold into their parent

@@ -15,10 +15,22 @@
 // starts, every shard's source is asked to split(split_factor) into
 // deterministic subshards (ProbeSource::split — yarrp6 partitions its
 // keyed-permutation walk with the shard/shard_count math, sequential its
-// target range; feedback-coupled sources report unsplittable and run
-// whole). The expanded (parent shard, subshard) work-unit list is the
+// target range, Doubletree its target range over an epoch-snapshotted
+// stop set). The expanded (parent shard, subshard) work-unit list is the
 // queue workers steal from, so one giant shard no longer bounds the
 // campaign's wall-clock — its subshards drain across all threads.
+//
+// Epoch families: split children that share barrier-merged snapshot state
+// (ProbeSource::epoch_barrier, e.g. Doubletree's SnapshotStopSet) are
+// scheduled in lockstep epochs rather than free-run to exhaustion. A
+// worker drives such a unit until it pauses at its epoch boundary
+// (ProbeSource::epoch_paused, checked after every CampaignRunner::step)
+// or exhausts; once every family member has arrived, the last arrival
+// calls EpochBarrier::merge_epoch — single-threaded, all siblings
+// quiescent — and requeues the survivors. The barrier is cooperative (no
+// blocked threads), so a family larger than the worker pool still makes
+// progress, and a pool of one drives it round-robin. Free-running units
+// and unsplit shards are scheduled exactly as before.
 //
 // Determinism contract: the shard list *and split_factor* fix the work;
 // the thread count fixes only the wall-clock. Every work unit's run is a
@@ -112,10 +124,11 @@ struct ParallelRunOptions {
   bool collect_replies = true;
   /// Deterministic over-decomposition: every shard's source is asked to
   /// split(split_factor) before any worker starts, and workers steal whole
-  /// subshards. Part of the campaign spec, like yarrp6's shard_count: at a
-  /// fixed value, results are bit-identical across thread counts; changing
-  /// it is a (deterministic) respecification. 1 — and any source that
-  /// reports unsplittable — keeps the classic one-unit-per-shard behavior.
+  /// subshards (epoch-coupled families one epoch at a time). Part of the
+  /// campaign spec, like yarrp6's shard_count: at a fixed value, results
+  /// are bit-identical across thread counts; changing it is a
+  /// (deterministic) respecification. 1 — and any source that reports
+  /// unsplittable — keeps the classic one-unit-per-shard behavior.
   std::uint64_t split_factor = 1;
 };
 

@@ -103,6 +103,39 @@ struct PacingPolicy {
   }
 };
 
+/// Barrier hook for an epoch-coupled split family (see
+/// ProbeSource::epoch_barrier). Split children that share snapshot state —
+/// e.g. Doubletree's epoch-snapshotted stop set — all return one instance
+/// of this interface, and the parallel backend drives the whole family in
+/// lockstep *epochs*:
+///
+///   1. every non-exhausted child runs until ProbeSource::epoch_paused()
+///      reports true (or the child exhausts);
+///   2. once ALL children of the family are paused or exhausted, the
+///      backend calls merge_epoch() exactly once, single-threaded, with
+///      every child quiescent;
+///   3. merge_epoch() folds the children's private write-deltas into the
+///      shared frozen state in canonical subshard order (child 0 first),
+///      opening epoch N+1;
+///   4. the backend clears each paused child via epoch_resume() and
+///      reschedules it.
+///
+/// Determinism: each child's probe stream is a pure function of (its
+/// spec, the sequence of frozen epoch states), and each frozen state is a
+/// pure function of the previous epoch's deltas merged in canonical
+/// order — so the family's results are independent of thread count and
+/// scheduling, exactly like the rest of the split contract.
+class EpochBarrier {
+ public:
+  virtual ~EpochBarrier() = default;
+
+  /// Fold every child's epoch-N write-delta into the shared read state in
+  /// canonical subshard order and open epoch N+1. Called exactly once per
+  /// barrier, single-threaded, only when every child of the family is
+  /// paused at its epoch-N boundary or exhausted.
+  virtual void merge_epoch() = 0;
+};
+
 /// A pull-based probe generator. Implementations must be deterministic:
 /// identical construction + identical feedback ⇒ identical probe sequence.
 class ProbeSource {
@@ -161,16 +194,44 @@ class ProbeSource {
   ///     parent's (e.g. exactly one child reports a shared trace count).
   ///   * Children may alias the parent's referenced storage (target spans),
   ///     which the caller already keeps alive for the campaign's duration;
-  ///     they must not share mutable state with each other.
+  ///     they must not share mutable state with each other — with one
+  ///     carve-out: children may share state that is mutated ONLY inside
+  ///     EpochBarrier::merge_epoch(), in which case every child must
+  ///     return that family's barrier from epoch_barrier() and honor the
+  ///     epoch pause protocol below.
   ///
-  /// Feedback-coupled sources (e.g. a shared stop set) are *unsplittable*:
-  /// return an empty vector — the default — and backends fall back to
-  /// running the source whole, as one work unit.
+  /// Feedback-coupled sources whose coupling cannot be expressed as an
+  /// epoch-snapshotted family are *unsplittable*: return an empty vector —
+  /// the default — and backends fall back to running the source whole, as
+  /// one work unit.
   [[nodiscard]] virtual std::vector<std::unique_ptr<ProbeSource>> split(
       std::uint64_t k) const {
     (void)k;
     return {};
   }
+
+  /// Epoch coupling (split children only). A child that shares
+  /// barrier-merged snapshot state with its siblings returns the family's
+  /// one EpochBarrier here (the same pointer from every sibling, owned by
+  /// the children, valid for their lifetime); free-running sources return
+  /// nullptr — the default. A backend that adopts an epoch-coupled family
+  /// must drive it with the EpochBarrier protocol; driving a child while
+  /// ignoring it is still deterministic but no delta ever merges, i.e. the
+  /// child sees only epoch 0 plus its own writes.
+  [[nodiscard]] virtual EpochBarrier* epoch_barrier() const { return nullptr; }
+
+  /// True when an epoch-coupled source has closed its current epoch: it
+  /// must not be polled again until the family's EpochBarrier::merge_epoch
+  /// has run and the backend clears the pause via epoch_resume(). The flag
+  /// only ever becomes true at a Poll boundary (next() sets it while
+  /// returning a round end or exhaustion), so a driver that checks it
+  /// after every CampaignRunner::step never lets a probe cross an epoch.
+  /// Free-running sources always report false.
+  [[nodiscard]] virtual bool epoch_paused() const { return false; }
+
+  /// Clear the epoch pause after the family's barrier merge. Called by the
+  /// backend, on the worker that resumes the child, before its next poll.
+  virtual void epoch_resume() {}
 };
 
 }  // namespace beholder6::campaign

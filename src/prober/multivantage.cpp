@@ -42,7 +42,11 @@ MultiVantageResult run_multi_vantage(simnet::Network& net,
     campaign::ParallelCampaignRunner parallel{net, options.n_threads};
     // Replies flow through the per-shard collectors; skip the merged stream.
     // (With split_factor > 1 each vantage's collector is fed post-hoc in
-    // canonical subshard order — still deterministic at any thread count.)
+    // canonical subshard order — still deterministic at any thread count.
+    // This holds for every source kind the backend schedules, including
+    // epoch-coupled families such as split Doubletree, whose barrier
+    // merges are canonical-order too; vantages here are yarrp6 walks, the
+    // free-running case.)
     auto merged = parallel.run(shards, {.collect_replies = false,
                                         .split_factor = options.split_factor});
     result.per_vantage = std::move(merged.per_shard);

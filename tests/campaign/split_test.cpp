@@ -225,16 +225,42 @@ TEST_F(SplitCampaignTest, SplitRunMatchesManualShardRun) {
 }
 
 // An unsplittable source must run whole: split_factor changes nothing.
+// (Doubletree — the historical example here — now splits as an
+// epoch-snapshotted family, covered by doubletree_split_test.cpp; this
+// uses a stub that declines to split, the contract's default.)
 TEST_F(SplitCampaignTest, UnsplittableSourceFallsBackToWholeShard) {
+  // Forwards a sequential order but reports unsplittable, like any source
+  // whose feedback coupling has no epoch-snapshotted form.
+  class UnsplittableSource final : public ProbeSource {
+   public:
+    UnsplittableSource(const prober::SequentialConfig& cfg,
+                       std::span<const Ipv6Addr> targets)
+        : inner_(cfg, targets) {}
+    void begin(std::uint64_t now_us) override { inner_.begin(now_us); }
+    Poll next(std::uint64_t now_us) override { return inner_.next(now_us); }
+    void on_reply(const Probe& probe, const wire::DecodedReply& reply,
+                  std::uint64_t now_us) override {
+      inner_.on_reply(probe, reply, now_us);
+    }
+    void on_probe_done(const Probe& probe, bool answered,
+                       std::uint64_t now_us) override {
+      inner_.on_probe_done(probe, answered, now_us);
+    }
+    void finish(ProbeStats& stats) const override { inner_.finish(stats); }
+    // split() stays the base-class default: empty, i.e. unsplittable.
+
+   private:
+    prober::SequentialSource inner_;
+  };
+
   const auto t = targets(30);
-  prober::DoubletreeConfig cfg;
+  prober::SequentialConfig cfg;
   cfg.src = topo_.vantages()[0].src;
   cfg.pps = 2000;
   cfg.max_ttl = 10;
 
   auto run_with = [&](std::uint64_t split_factor) {
-    prober::StopSet stop_set;
-    prober::DoubletreeSource source{cfg, t, stop_set};
+    UnsplittableSource source{cfg, t};
     const std::vector<Shard> shards{
         {&source, cfg.endpoint(), cfg.pacing(), {}}};
     const ParallelCampaignRunner runner{topo_, simnet::NetworkParams{}, 4};

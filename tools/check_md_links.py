@@ -1,12 +1,20 @@
 #!/usr/bin/env python3
-"""Fail on broken relative links in the repository's Markdown files.
+"""Fail on broken relative links or anchors in the repository's Markdown.
 
 The docs CI job runs this from anywhere (paths resolve against the repo
 root, one directory above this script). Checks every `[text](target)`
-and `![alt](target)` whose target is not an absolute URL or a bare
-anchor: the referenced file must exist relative to the Markdown file's
-own directory (a `#fragment` suffix is stripped first). Fenced code
-blocks are skipped, so quoted/quarantined content cannot trip it.
+and `![alt](target)` whose target is not an absolute URL:
+
+  * a path target must exist relative to the Markdown file's own
+    directory;
+  * a `#fragment` — bare (`#section`, same document) or suffixed onto a
+    relative .md path (`docs/FOO.md#section`) — must match a heading in
+    the referenced document, using GitHub's anchor slug rules (rendered
+    heading text lowercased, punctuation dropped, spaces to hyphens,
+    `-N` suffixes for duplicates).
+
+Fenced code blocks are skipped, so quoted/quarantined content cannot
+trip it.
 """
 
 import re
@@ -14,12 +22,19 @@ import sys
 from pathlib import Path
 
 LINK_RE = re.compile(r"!?\[[^\]]*\]\(\s*([^)\s]+)(?:\s+\"[^\"]*\")?\s*\)")
-EXTERNAL = ("http://", "https://", "mailto:", "ftp://", "#")
+EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
 SKIP_DIRS = ("build", ".git", ".claude")
+HEADING_RE = re.compile(r"^ {0,3}(#{1,6})\s+(.*?)\s*#*\s*$")
+# Markdown syntax stripped from heading text before slugging (GitHub
+# slugs the *rendered* text): inline code/emphasis markers and the
+# target half of inline links.
+INLINE_LINK_RE = re.compile(r"\[([^\]]*)\]\([^)]*\)")
+MARKUP_RE = re.compile(r"[`*]")
+NON_SLUG_RE = re.compile(r"[^\w\- ]", re.UNICODE)
 
 
-def links_in(md: Path):
-    """Yield (line number, link target) outside fenced code blocks."""
+def body_lines(md: Path):
+    """Yield (line number, line) outside fenced code blocks."""
     in_fence = False
     for lineno, line in enumerate(
         md.read_text(encoding="utf-8").splitlines(), start=1
@@ -29,14 +44,51 @@ def links_in(md: Path):
             continue
         if in_fence:
             continue
+        yield lineno, line
+
+
+def links_in(md: Path):
+    """Yield (line number, link target) outside fenced code blocks."""
+    for lineno, line in body_lines(md):
         for match in LINK_RE.finditer(line):
             yield lineno, match.group(1)
+
+
+def slugify(heading: str) -> str:
+    """GitHub's anchor slug for one rendered heading (sans dedup suffix)."""
+    text = INLINE_LINK_RE.sub(r"\1", heading)
+    text = MARKUP_RE.sub("", text)
+    text = NON_SLUG_RE.sub("", text.lower())
+    return text.replace(" ", "-")
+
+
+def anchors_in(md: Path) -> set:
+    """Every anchor GitHub would render for `md`, duplicates suffixed."""
+    anchors = set()
+    counts = {}
+    for _, line in body_lines(md):
+        match = HEADING_RE.match(line)
+        if not match:
+            continue
+        slug = slugify(match.group(2))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        anchors.add(slug if n == 0 else f"{slug}-{n}")
+    return anchors
 
 
 def main() -> int:
     root = Path(__file__).resolve().parent.parent
     broken = []
     checked = 0
+    anchor_cache = {}
+
+    def anchors_of(md: Path) -> set:
+        key = md.resolve()
+        if key not in anchor_cache:
+            anchor_cache[key] = anchors_in(md)
+        return anchor_cache[key]
+
     for md in sorted(root.rglob("*.md")):
         rel = md.relative_to(root)
         if any(part.startswith(SKIP_DIRS) for part in rel.parts[:-1]):
@@ -44,15 +96,26 @@ def main() -> int:
         for lineno, target in links_in(md):
             if target.startswith(EXTERNAL):
                 continue
-            path = target.split("#", 1)[0]
-            if not path:
-                continue
-            checked += 1
-            if not (md.parent / path).exists():
-                broken.append(f"{rel}:{lineno}: broken relative link '{target}'")
+            path, _, fragment = target.partition("#")
+            dest = md if not path else md.parent / path
+            if path:
+                checked += 1
+                if not dest.exists():
+                    broken.append(
+                        f"{rel}:{lineno}: broken relative link '{target}'"
+                    )
+                    continue
+            if fragment and (not path or dest.suffix == ".md"):
+                checked += 1
+                if fragment not in anchors_of(dest):
+                    broken.append(
+                        f"{rel}:{lineno}: broken anchor '{target}' "
+                        f"(no heading slugs to '#{fragment}' in "
+                        f"{dest.relative_to(root)})"
+                    )
     for line in broken:
         print(line)
-    print(f"checked {checked} relative links, {len(broken)} broken")
+    print(f"checked {checked} relative links/anchors, {len(broken)} broken")
     return 1 if broken else 0
 
 
