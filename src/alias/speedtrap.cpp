@@ -114,6 +114,8 @@ std::vector<Router> SpeedtrapResolver::resolve(
     clusters[uf.find(i)].push_back(series[i].iface);
   std::vector<Router> routers;
   routers.reserve(clusters.size());
+  // beholder6: lint-allow(unordered-iter): each router is sorted internally
+  // and the router list is sorted below — output is visit-order free
   for (auto& [root, ifaces] : clusters) {
     std::sort(ifaces.begin(), ifaces.end());
     routers.push_back(std::move(ifaces));

@@ -39,6 +39,8 @@ bool contiguous(const Trace& tr, std::uint8_t from_ttl, unsigned len) {
 std::vector<CandidateSubnet> ia_hack(
     const beholder6::topology::TraceCollector& collector) {
   std::vector<CandidateSubnet> out;
+  // beholder6: lint-allow(unordered-iter): collected candidates are sorted
+  // into target order below, so the table's visit order cannot leak
   for (const auto& [target, trace] : collector.traces()) {
     const auto hops = trace.router_hops();
     if (hops.empty()) continue;
@@ -46,6 +48,14 @@ std::vector<CandidateSubnet> ia_hack(
     if (last.lo() == 1 && last.hi() == target.hi() && last != target)
       out.push_back(CandidateSubnet{target, 64, true});
   }
+  // Canonical order: the collector's trace table iterates in layout order
+  // (deterministic for one insertion history, but serial and split-merged
+  // runs build different histories from identical trace content). Sorting
+  // makes the candidate list a pure function of the trace *set*.
+  std::sort(out.begin(), out.end(),
+            [](const CandidateSubnet& a, const CandidateSubnet& b) {
+              return a.target < b.target;
+            });
   return out;
 }
 
@@ -58,6 +68,8 @@ PathDivResult discover_by_path_div(
   // Sort targets so adjacent comparisons maximize DPL.
   std::vector<const Trace*> traces;
   traces.reserve(collector.traces().size());
+  // beholder6: lint-allow(unordered-iter): collected pointers are sorted by
+  // target immediately below; table order cannot reach the pair scan
   for (const auto& [t, tr] : collector.traces())
     if (!tr.hops.empty()) traces.push_back(&tr);
   std::sort(traces.begin(), traces.end(),

@@ -8,6 +8,8 @@
 #include <mutex>
 #include <thread>
 
+#include "netbase/dcheck.hpp"
+
 namespace beholder6::campaign {
 
 namespace {
@@ -55,6 +57,10 @@ struct EpochFamily {
   EpochBarrier* barrier = nullptr;
   std::vector<std::size_t> members;  // unit indexes, canonical order
   std::size_t arrived = 0;           // members paused/exhausted this epoch
+  // Barrier-protocol invariant (DCHECK): each *live* member arrives exactly
+  // once per epoch. Indexed by the unit's subshard (stable across the
+  // exhausted-member erasures that shrink `members`).
+  std::vector<char> arrived_flags;
 };
 
 }  // namespace
@@ -92,7 +98,8 @@ ParallelResult ParallelCampaignRunner::run(const std::vector<Shard>& shards,
       std::int32_t family = -1;
       if (barrier != nullptr) {
         family = static_cast<std::int32_t>(families.size());
-        families.push_back({barrier, {}, 0});
+        families.push_back(
+            {barrier, {}, 0, std::vector<char>(children.size(), 0)});
       }
       for (std::uint32_t j = 0; j < children.size(); ++j) {
         if (family >= 0)
@@ -222,12 +229,21 @@ ParallelResult ParallelCampaignRunner::run(const std::vector<Shard>& shards,
         // before reporting in under this mutex, which is also what makes
         // its delta writes visible here) and requeues the survivors.
         EpochFamily& fam = families[static_cast<std::size_t>(units[u].family)];
+        B6_DCHECK(fam.arrived_flags[units[u].subshard] == 0,
+                  "epoch-family unit reported a barrier arrival twice in one "
+                  "epoch — the EpochBarrier schedule is broken");
+        fam.arrived_flags[units[u].subshard] = 1;
+        B6_DCHECK(fam.arrived < fam.members.size(),
+                  "more barrier arrivals than live family members");
         if (++fam.arrived == fam.members.size()) {
           fam.barrier->merge_epoch();
           fam.arrived = 0;
           std::erase_if(fam.members,
                         [&](std::size_t m) { return exhausted[m] != 0; });
-          for (const std::size_t m : fam.members) ready.push_back(m);
+          for (const std::size_t m : fam.members) {
+            fam.arrived_flags[units[m].subshard] = 0;
+            ready.push_back(m);
+          }
         }
       }
       cv.notify_all();
@@ -295,6 +311,22 @@ ParallelResult ParallelCampaignRunner::run(const std::vector<Shard>& shards,
                                   ? a.virtual_us < b.virtual_us
                                   : a.shard < b.shard;
                      });
+#if BEHOLDER6_DCHECK_LEVEL >= 2
+    // Expensive sweep: the documented total order — (vtime, shard,
+    // subshard, arrival) strictly nondecreasing — must hold over the whole
+    // merged stream, not just the sort key (stability carries the
+    // (subshard, arrival) tail from the canonical concatenation).
+    for (std::size_t r = 1; r < result.replies.size(); ++r) {
+      const ShardReply& p = result.replies[r - 1];
+      const ShardReply& q = result.replies[r];
+      B6_DCHECK2(p.virtual_us < q.virtual_us ||
+                     (p.virtual_us == q.virtual_us &&
+                      (p.shard < q.shard ||
+                       (p.shard == q.shard && p.subshard <= q.subshard))),
+                 "merged reply stream violates the canonical "
+                 "(vtime, shard, subshard) order");
+    }
+#endif
   }
   return result;
 }

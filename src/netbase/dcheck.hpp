@@ -1,0 +1,74 @@
+// netbase/dcheck.hpp — leveled runtime invariants for the determinism
+// contract.
+//
+// The static linter (tools/lint_determinism.py) covers what a regex can
+// see; these macros cover what it cannot: protocol invariants that only
+// hold while the program runs — every epoch-family child arrives at its
+// barrier exactly once per epoch, the canonical reply merge really is
+// nondecreasing in (vtime, shard, subshard, arrival), packet pools and the
+// inject path are never re-entered. A violated invariant here means some
+// future run can produce different bytes, so the response is an immediate
+// loud abort, never a best-effort continue.
+//
+// Levels (compile-time, BEHOLDER6_DCHECK_LEVEL, normally injected by the
+// BEHOLDER6_DCHECK CMake option):
+//   0  everything compiles away (argument expressions are not evaluated);
+//   1  cheap O(1) checks on control paths — branch-and-compare cost,
+//      enabled by default in every build including Release CI;
+//   2  adds expensive sweeps (whole-stream order verification, duplicate
+//      scans) for the sanitizer jobs and deep debugging.
+//
+// B6_DCHECK(cond, msg)   — level >= 1.
+// B6_DCHECK2(cond, msg)  — level >= 2.
+//
+// Checks must never have side effects the program relies on: disabling a
+// level must not change a single output byte.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#ifndef BEHOLDER6_DCHECK_LEVEL
+#define BEHOLDER6_DCHECK_LEVEL 1
+#endif
+
+namespace beholder6::netbase::detail {
+
+[[noreturn]] inline void dcheck_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr,
+               "beholder6: DCHECK failed: %s\n  at %s:%d\n  %s\n"
+               "  (a determinism invariant is broken; aborting rather than "
+               "emitting unreproducible results)\n",
+               expr, file, line, msg);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace beholder6::netbase::detail
+
+// Disabled checks keep the condition in an unevaluated operand so typos
+// still fail to compile and variables never become "unused".
+#define B6_DCHECK_DISABLED_(cond) ((void)sizeof((cond) ? 1 : 0))
+
+#if BEHOLDER6_DCHECK_LEVEL >= 1
+#define B6_DCHECK(cond, msg)                                              \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::beholder6::netbase::detail::dcheck_fail(#cond, __FILE__, __LINE__, \
+                                                msg);                     \
+  } while (0)
+#else
+#define B6_DCHECK(cond, msg) B6_DCHECK_DISABLED_(cond)
+#endif
+
+#if BEHOLDER6_DCHECK_LEVEL >= 2
+#define B6_DCHECK2(cond, msg)                                             \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::beholder6::netbase::detail::dcheck_fail(#cond, __FILE__, __LINE__, \
+                                                msg);                     \
+  } while (0)
+#else
+#define B6_DCHECK2(cond, msg) B6_DCHECK_DISABLED_(cond)
+#endif

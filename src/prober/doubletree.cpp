@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "campaign/runner.hpp"
+#include "netbase/dcheck.hpp"
 
 namespace beholder6::prober {
 
@@ -12,6 +13,7 @@ SnapshotStopSet::SnapshotStopSet(const StopSet& initial, std::size_t children,
                                  StopSet* publish)
     : deltas_(children), publish_(publish) {
   frozen_.reserve(initial.size());
+  // beholder6: lint-allow(unordered-iter): set-to-set copy, membership only
   for (const auto& addr : initial) frozen_.insert(addr);
 }
 
@@ -20,11 +22,16 @@ bool SnapshotStopSet::insert(std::size_t child, const Ipv6Addr& addr) {
   // entry; a miss records the discovery privately. Either way the return
   // value is "was this already visible to *this child*" — the same answer
   // the serial set's insert().second gives.
+  B6_DCHECK(child < deltas_.size(),
+            "SnapshotStopSet write from a child outside the family — delta "
+            "isolation (and with it the epoch merge order) is broken");
   if (frozen_.contains(addr)) return true;
   return !deltas_[child].inserts.insert(addr).second;
 }
 
 bool SnapshotStopSet::contains(std::size_t child, const Ipv6Addr& addr) const {
+  B6_DCHECK(child < deltas_.size(),
+            "SnapshotStopSet read from a child outside the family");
   return frozen_.contains(addr) || deltas_[child].inserts.contains(addr);
 }
 
@@ -37,6 +44,8 @@ void SnapshotStopSet::merge_epoch() {
   // order independent, but the canon makes the merge — like every other
   // parallel-backend fold — a pure function of the children's results.
   for (auto& delta : deltas_) {
+    // beholder6: lint-allow(unordered-iter): folding into a set — only
+    // membership is ever observable, never the insertion sequence
     for (const auto& addr : delta.inserts) frozen_.insert(addr);
     delta.inserts.clear();  // keeps capacity: next epoch inserts allocate-free
   }
@@ -44,6 +53,8 @@ void SnapshotStopSet::merge_epoch() {
   if (publish_ != nullptr && !published_ &&
       std::all_of(deltas_.begin(), deltas_.end(),
                   [](const Delta& d) { return d.exhausted; })) {
+    // beholder6: lint-allow(unordered-iter): set-to-set copy; the legacy
+    // StopSet exposes membership only
     for (const auto& addr : frozen_) publish_->insert(addr);
     published_ = true;
   }

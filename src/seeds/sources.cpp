@@ -1,7 +1,7 @@
 #include "seeds/sources.hpp"
 
 #include <algorithm>
-#include <unordered_map>
+#include <map>
 
 namespace beholder6::seeds {
 
@@ -177,7 +177,10 @@ SeedList make_6gen(const Topology& topo, const SeedScale& sc, std::uint64_t seed
   auto input = make_fdns_any(topo, sc, splitmix64(seed ^ 1));
   input.entries.insert(input.entries.end(), caida.entries.begin(), caida.entries.end());
 
-  std::unordered_map<std::uint64_t, std::vector<Ipv6Addr>> clusters;
+  // Ordered map: generation draws from `rng` and stops at `out_budget`
+  // inside the cluster loop below, so the visit order is output-shaping —
+  // an unordered container here made the list depend on hash-table layout.
+  std::map<std::uint64_t, std::vector<Ipv6Addr>> clusters;
   for (const auto& e : input.entries)
     clusters[e.base().masked(48).hi()].push_back(e.base());
 

@@ -1,7 +1,6 @@
 #include "simnet/network.hpp"
 
-#include <cassert>
-
+#include "netbase/dcheck.hpp"
 #include "netbase/rng.hpp"
 #include "wire/fragment.hpp"
 #include "wire/headers.hpp"
@@ -165,8 +164,9 @@ void Network::reply_to_interface_echo(const wire::Ipv6Header& ip,
 }
 
 std::span<const Packet> Network::inject_view(const Packet& probe) {
-  assert(!in_inject_ && "Network::inject* is not reentrant: replies alias "
-                        "the shared pool; do not inject from an observer");
+  B6_DCHECK(!in_inject_,
+            "Network::inject* is not reentrant: replies alias the shared "
+            "pool; do not inject from an observer");
   in_inject_ = true;
   batch_.reset();
   inject_impl(probe, batch_.pool());
@@ -182,8 +182,9 @@ std::vector<Packet> Network::inject(const Packet& probe) {
 }
 
 const BatchReplies& Network::inject_batch_view(std::span<const Packet> probes) {
-  assert(!in_inject_ && "Network::inject* is not reentrant: replies alias "
-                        "the shared pool; do not inject from an observer");
+  B6_DCHECK(!in_inject_,
+            "Network::inject* is not reentrant: replies alias the shared "
+            "pool; do not inject from an observer");
   in_inject_ = true;
   batch_.reset();
   for (const auto& p : probes) {

@@ -17,6 +17,8 @@
 #include <span>
 #include <vector>
 
+#include "netbase/dcheck.hpp"
+
 namespace beholder6::simnet {
 
 using Packet = std::vector<std::uint8_t>;
@@ -34,7 +36,11 @@ class PacketPool {
 
   /// Drop the most recently acquired slot (e.g. a reply that turned out to
   /// need fragmentation and is re-emitted as fragments).
-  void drop_last() { --live_; }
+  void drop_last() {
+    B6_DCHECK(live_ > 0, "PacketPool::drop_last with no live packet — the "
+                         "acquire/drop pairing on the inject path is broken");
+    --live_;
+  }
 
   /// The packets built since the last clear(), in acquire order.
   [[nodiscard]] std::span<const Packet> view() const {
@@ -61,6 +67,7 @@ class BatchReplies {
 
   /// Replies to the i-th probe, in arrival order.
   [[nodiscard]] std::span<const Packet> of(std::size_t i) const {
+    B6_DCHECK(i < ends_.size(), "BatchReplies::of past the last probe");
     const std::size_t begin = i == 0 ? 0 : ends_[i - 1];
     return pool_.view().subspan(begin, ends_[i] - begin);
   }

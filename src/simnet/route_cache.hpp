@@ -31,6 +31,7 @@
 #include <optional>
 #include <vector>
 
+#include "netbase/dcheck.hpp"
 #include "netbase/flat_map.hpp"
 #include "netbase/huge_alloc.hpp"
 #include "netbase/rng.hpp"
@@ -105,6 +106,11 @@ class RouteCache {
 
   /// Memoize a freshly resolved path and return its view.
   Resolved insert(const RouteKey& key, const Path& path) {
+    // Double-inserting a key would leave two live slots for it, and which
+    // one a probe hits would depend on probe history — the resolve path
+    // must look up before it inserts. O(probe-chain) scan, so level 2.
+    B6_DCHECK2(!find(key).has_value(),
+               "RouteCache::insert of a key that is already cached");
     if (slots_.empty() || (n_entries_ + 1) * 4 > slots_.size() * 3) grow();
     Slot s;
     s.cell = key.cell;
@@ -211,6 +217,9 @@ class RouteCache {
   }
 
   void place(const Slot& s) {
+    B6_DCHECK(n_entries_ < slots_.size(),
+              "RouteCache::place on a full table — the grow() threshold "
+              "was bypassed and the probe loop below cannot terminate");
     const std::size_t mask = slots_.size() - 1;
     std::size_t i = hash({s.cell, s.meta}) & mask;
     while (slots_[i].meta != kVacant) i = (i + 1) & mask;

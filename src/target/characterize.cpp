@@ -35,6 +35,8 @@ void exclusive_features(const std::vector<const TargetSet*>& universe,
   std::vector<std::unordered_set<Ipv6Addr, Ipv6AddrHash>> uniq(universe.size());
   for (std::size_t i = 0; i < universe.size(); ++i) {
     for (const auto& a : universe[i]->addrs) uniq[i].insert(a);
+    // beholder6: lint-allow(unordered-iter): keyed counter increments are
+    // visit-order independent
     for (const auto& a : uniq[i]) ++target_sets[a];
     if (i < features.size()) {
       for (const auto& p : features[i].bgp_prefixes) ++prefix_sets[p];
@@ -44,6 +46,8 @@ void exclusive_features(const std::vector<const TargetSet*>& universe,
   for (std::size_t i = 0; i < universe.size() && i < features.size(); ++i) {
     auto& f = features[i];
     f.excl_targets = f.excl_routed = f.excl_bgp_prefixes = f.excl_asns = 0;
+    // beholder6: lint-allow(unordered-iter): pure counting fold, no output
+    // ordering depends on the visit order
     for (const auto& a : uniq[i]) {
       if (target_sets[a] != 1) continue;
       ++f.excl_targets;

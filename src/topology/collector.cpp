@@ -33,13 +33,17 @@ void TraceCollector::on_reply(const wire::DecodedReply& reply,
 }
 
 void TraceCollector::merge(const TraceCollector& other) {
+  // beholder6: lint-allow(unordered-iter): keyed fold — every hop lands in
+  // its (target, ttl) slot, so the merged *content* is visit-order free
   for (const auto& [target, tr] : other.traces_) {
     auto& mine = traces_[target];
     mine.target = target;
     for (const auto& [ttl, hop] : tr.hops) mine.hops.emplace(ttl, hop);
     mine.reached |= tr.reached;
   }
+  // beholder6: lint-allow(unordered-iter): set union, membership only
   for (const auto& iface : other.interfaces_) interfaces_.insert(iface);
+  // beholder6: lint-allow(unordered-iter): set union, membership only
   for (const auto& responder : other.responders_) responders_.insert(responder);
   te_ += other.te_;
   non_te_ += other.non_te_;
@@ -49,6 +53,7 @@ void TraceCollector::merge(const TraceCollector& other) {
 double TraceCollector::reached_fraction() const {
   if (traces_.empty()) return 0.0;
   std::size_t reached = 0;
+  // beholder6: lint-allow(unordered-iter): integer sum, order independent
   for (const auto& [t, tr] : traces_) reached += tr.reached;
   return static_cast<double>(reached) / static_cast<double>(traces_.size());
 }
@@ -57,6 +62,8 @@ std::uint8_t TraceCollector::path_len_percentile(double q) const {
   if (traces_.empty()) return 0;
   std::vector<std::uint8_t> lens;
   lens.reserve(traces_.size());
+  // beholder6: lint-allow(unordered-iter): collected lengths are sorted on
+  // the next line; table order cannot reach the percentile
   for (const auto& [t, tr] : traces_) lens.push_back(tr.path_len());
   std::sort(lens.begin(), lens.end());
   const auto idx = std::min(lens.size() - 1,
@@ -66,6 +73,7 @@ std::uint8_t TraceCollector::path_len_percentile(double q) const {
 
 TraceCollector::Eui64Report TraceCollector::eui64_report() const {
   Eui64Report rep;
+  // beholder6: lint-allow(unordered-iter): integer count, order independent
   for (const auto& iface : interfaces_) rep.eui64_interfaces += is_eui64(iface);
   rep.frac_of_interfaces =
       interfaces_.empty()
@@ -75,6 +83,8 @@ TraceCollector::Eui64Report TraceCollector::eui64_report() const {
   // Offsets: for every trace, every EUI-64 TE hop contributes
   // (its TTL − path length), 0 meaning it was the last hop on path.
   std::vector<int> offsets;
+  // beholder6: lint-allow(unordered-iter): offsets are sorted before the
+  // percentile reads below; table order cannot leak
   for (const auto& [t, tr] : traces_) {
     const int plen = tr.path_len();
     if (plen == 0) continue;

@@ -153,6 +153,39 @@ TEST_F(PathDivTest, StratifiedSamplingKeepsOnePerTrueSubnet) {
   EXPECT_EQ(sample.size(), n) << "one representative per /64";
 }
 
+TEST(PathDivUnit, IaHackIsSortedAndInsertionOrderIndependent) {
+  // Regression: ia_hack used to emit candidates in the collector's trace
+  // table layout order, which depends on insertion history — a serial run
+  // and a split-merged run built different layouts from identical trace
+  // content and produced differently ordered candidate lists. The result
+  // must be a pure function of the trace *set*: target-sorted, identical
+  // whatever order the replies arrived in.
+  constexpr std::uint64_t kCells = 64;
+  auto reply_for = [](std::uint64_t cell) {
+    wire::DecodedReply r;
+    const std::uint64_t hi = 0x20010db8'00000000ULL + cell * 0x2'0001ULL;
+    r.responder = Ipv6Addr::from_halves(hi, 1);  // the ::1 gateway
+    r.probe.target = Ipv6Addr::from_halves(hi, 0x42);
+    r.probe.ttl = 5;
+    return r;  // defaults: Time Exceeded, so this is the last router hop
+  };
+  TraceCollector fwd, rev;
+  for (std::uint64_t c = 0; c < kCells; ++c) fwd.on_reply(reply_for(c));
+  for (std::uint64_t c = kCells; c-- > 0;) rev.on_reply(reply_for(c));
+
+  const auto a = ia_hack(fwd), b = ia_hack(rev);
+  ASSERT_EQ(a.size(), kCells);
+  ASSERT_EQ(b.size(), kCells);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].target, b[i].target) << "at index " << i;
+    EXPECT_EQ(a[i].min_prefix_len, 64u);
+    EXPECT_TRUE(a[i].via_ia_hack);
+    if (i > 0) {
+      EXPECT_LT(a[i - 1].target, a[i].target) << "not target-sorted";
+    }
+  }
+}
+
 TEST(PathDivUnit, LengthHistogram) {
   std::set<Prefix> prefixes{Prefix::must_parse("2001:db8::/48"),
                             Prefix::must_parse("2001:db8:1::/48"),

@@ -145,6 +145,28 @@ TEST(Seeds, SixGenStaysNearItsInputClusters) {
   EXPECT_GT(routed_fraction(l), 0.8);
 }
 
+TEST(Seeds, SixGenEmitsClustersInAscendingPrefixOrder) {
+  // Regression: generation visits clusters while drawing RNG values and
+  // stopping at the output budget, so the visit order shapes the output.
+  // The cluster map is ordered by /48 — the list must come out in
+  // contiguous, strictly ascending /48 groups, and identically across
+  // calls. Under the old unordered_map both properties held only by
+  // accident of hash-table layout.
+  const auto a = make_6gen(topo(), SeedScale{}, 5);
+  ASSERT_GT(a.size(), 100u);
+  std::vector<std::uint64_t> group_order;
+  for (const auto& e : a.entries) {
+    const auto hi48 = e.base().masked(48).hi();
+    if (group_order.empty() || group_order.back() != hi48)
+      group_order.push_back(hi48);
+  }
+  for (std::size_t i = 1; i < group_order.size(); ++i)
+    ASSERT_LT(group_order[i - 1], group_order[i])
+        << "cluster groups out of order (or a /48 split into two runs)";
+  const auto b = make_6gen(topo(), SeedScale{}, 5);
+  EXPECT_EQ(a.entries, b.entries);
+}
+
 TEST(Seeds, TumIsEuiHeavySuperset) {
   const auto tum = make_tum(topo(), SeedScale{}, 1);
   const auto fdns = make_fdns_any(topo(), SeedScale{}, 1);

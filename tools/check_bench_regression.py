@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Advisory perf-trajectory check for the hot-path bench.
+
+Compares a freshly produced BENCH_hotpath.json against the committed
+baseline copy and *warns* — never fails — when `fast_path.probes_per_sec`
+dropped by more than the threshold (default 25%).
+
+Warn-only is deliberate: CI machines are not the committed numbers'
+machine, runners are noisy neighbours, and the committed JSON itself says
+"compare like scales and machines only". The value of this check is the
+paper trail — a `::warning` annotation on the PR the moment the trajectory
+bends — not a gate that would flake on runner weather. A genuine
+regression shows up as the warning appearing on *every* run of a PR while
+neighbouring PRs stay quiet.
+
+Exit codes: 0 always for comparisons (including a triggered warning);
+2 for operator errors (missing file, malformed JSON, missing field) so a
+broken wiring of the check itself does fail loudly.
+
+Usage:
+  tools/check_bench_regression.py BASELINE.json FRESH.json [--threshold 0.25]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def die(msg: str) -> None:
+    print(f"check_bench_regression: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def read_pps(path: str) -> float:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except OSError as e:
+        die(f"cannot read {path}: {e}")
+    except json.JSONDecodeError as e:
+        die(f"{path} is not valid JSON: {e}")
+    try:
+        pps = doc["fast_path"]["probes_per_sec"]
+    except (KeyError, TypeError):
+        die(f"{path} has no fast_path.probes_per_sec")
+    if not isinstance(pps, (int, float)) or pps <= 0:
+        die(f"{path}: fast_path.probes_per_sec is {pps!r}, "
+            f"expected a positive number")
+    return float(pps)
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", help="committed BENCH_hotpath.json")
+    ap.add_argument("fresh", help="just-produced BENCH_hotpath.json")
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="warn when fresh < (1 - threshold) * baseline "
+                         "(default 0.25)")
+    args = ap.parse_args()
+
+    base = read_pps(args.baseline)
+    fresh = read_pps(args.fresh)
+    ratio = fresh / base
+    drop = 1.0 - ratio
+
+    line = (f"fast_path.probes_per_sec: baseline {base:,.0f} -> fresh "
+            f"{fresh:,.0f} ({ratio:.1%} of baseline)")
+    if drop > args.threshold:
+        # GitHub Actions annotation syntax; plain stderr elsewhere.
+        print(f"::warning title=hot-path bench regression::{line} — "
+              f"dropped more than {args.threshold:.0%}. Machine variance is "
+              f"expected; investigate only if this repeats across runs.")
+        print(f"WARN {line}", file=sys.stderr)
+    else:
+        print(f"ok   {line}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,33 @@
+// Deliberately clean corpus file: exercises near-miss patterns that must
+// NOT fire any rule. Never compiled — linter regression corpus.
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace corpus {
+
+// rand / time as substrings must not fire raw-random.
+int operand_brand_runtime(int brand, int operand) { return brand + operand; }
+
+std::uint64_t sorted_map_iteration(const std::map<int, std::uint64_t>& m) {
+  std::uint64_t acc = 0;
+  for (const auto& [k, v] : m) acc += v;  // std::map: deterministic order
+  return acc;
+}
+
+void sort_values(std::vector<int>& v) {
+  std::sort(v.begin(), v.end(), [](int a, int b) { return a < b; });
+}
+
+double double_accumulator(const std::vector<double>& xs) {
+  double total = 0.0;
+  for (const auto x : xs) total += x;
+  return total;
+}
+
+// A comment mentioning rand() or std::unordered_map iteration is fine.
+std::set<int> ordered_set_walk(const std::set<int>& s) { return s; }
+
+}  // namespace corpus

@@ -1,0 +1,29 @@
+// Seeded violations for the float-accum rule. Never compiled — linter
+// regression corpus (lint_determinism.py --self-test).
+#include <numeric>
+#include <vector>
+
+namespace corpus {
+
+float running_float_sum(const std::vector<float>& xs) {
+  float total = 0.0F;
+  for (const auto x : xs) total += x;  // lint-expect(float-accum)
+  return total;
+}
+
+float accumulate_with_float_init(const std::vector<float>& xs) {
+  return std::accumulate(xs.begin(), xs.end(), 0.0f);  // lint-expect(float-accum)
+}
+
+double double_fold_is_fine(const std::vector<float>& xs) {
+  double total = 0.0;
+  for (const auto x : xs) total += x;
+  return total;
+}
+
+float float_storage_is_fine(float stored_value) {
+  // Storing/returning float is not the hazard; *folding* in float is.
+  return stored_value;
+}
+
+}  // namespace corpus

@@ -1,0 +1,32 @@
+// Seeded violations for the pointer-key rule. Never compiled — linter
+// regression corpus (lint_determinism.py --self-test).
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace corpus {
+
+struct Node {
+  int id = 0;
+};
+
+std::size_t hash_a_pointer(const Node* n) {
+  return std::hash<const Node*>{}(n);  // lint-expect(pointer-key)
+}
+
+std::uint64_t pointer_as_integer_key(const Node* n) {
+  return reinterpret_cast<std::uintptr_t>(n);  // lint-expect(pointer-key)
+}
+
+void sort_by_address(std::vector<const Node*>& nodes) {
+  std::sort(nodes.begin(), nodes.end(),
+            [](const Node* a, const Node* b) { return a < b; });  // lint-expect(pointer-key)
+}
+
+void sort_by_pointee_is_fine(std::vector<const Node*>& nodes) {
+  std::sort(nodes.begin(), nodes.end(),
+            [](const Node* a, const Node* b) { return a->id < b->id; });
+}
+
+}  // namespace corpus

@@ -1,0 +1,49 @@
+// Seeded violations for the raw-random rule. Never compiled — linter
+// regression corpus (lint_determinism.py --self-test).
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace corpus {
+
+unsigned libc_rand() {
+  return static_cast<unsigned>(rand());  // lint-expect(raw-random)
+}
+
+void libc_srand_from_time() {
+  srand(static_cast<unsigned>(time(nullptr)));  // lint-expect(raw-random)
+}
+
+std::uint64_t hardware_entropy() {
+  std::random_device rd;  // lint-expect(raw-random)
+  return rd();
+}
+
+std::uint64_t wall_clock_now() {
+  return static_cast<std::uint64_t>(
+      std::chrono::system_clock::now()  // lint-expect(raw-random)
+          .time_since_epoch()
+          .count());
+}
+
+std::uint64_t timing_read() {
+  return static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now()  // lint-expect(raw-random)
+          .time_since_epoch()
+          .count());
+}
+
+std::uint64_t allowed_wall_clock() {
+  // beholder6: lint-allow(raw-random): corpus demo of an annotated read
+  return static_cast<std::uint64_t>(std::chrono::system_clock::now()
+                                        .time_since_epoch()
+                                        .count());
+}
+
+std::uint64_t runtime_is_fine(std::uint64_t virtual_now_us) {
+  // Virtual time is the deterministic substitute the library provides.
+  return virtual_now_us + 42;
+}
+
+}  // namespace corpus

@@ -1,0 +1,441 @@
+#!/usr/bin/env python3
+"""Repo-specific determinism linter for beholder6.
+
+Every number this reproduction reports rests on a bit-identical contract:
+a campaign is a pure function of (spec, seed), and 1/2/8 worker threads
+produce byte-for-byte identical results. That contract dies quietly — one
+iteration over a hash table feeding ordered output, one wall-clock read in
+a code path that shapes replies — so this linter makes the known hazard
+classes machine-checked instead of reviewer-checked.
+
+Scope: `src/` only (benches, examples, tests and tools may time things and
+print in discovery order; the library must not).
+
+Rules
+-----
+unordered-iter
+    Iteration (range-for, or an explicit `.begin()` walk) over a container
+    whose iteration order is layout-dependent: std::unordered_map/set (and
+    the multi variants) and the in-tree netbase::FlatMap/FlatSet.
+    Iterating such a container is fine only when *nothing observable*
+    depends on the visit order — a pure count, an order-independent fold,
+    or a collect-then-sort. The linter cannot prove order-independence
+    statically, so every such loop must either disappear (iterate a sorted
+    copy of the keys) or carry an explicit
+    `// beholder6: lint-allow(unordered-iter): <why order cannot leak>`
+    annotation. That turns each site into a reviewed, grep-able claim.
+
+raw-random
+    Entropy or wall-clock sources outside netbase/rng.hpp: rand(),
+    srand(), std::random_device, time(), clock(), getrandom,
+    /dev/urandom, and std::chrono::{system,steady,high_resolution}_clock.
+    All stochastic behaviour must flow from the seeded SplitMix64 /
+    Xoshiro256** machinery in netbase/rng.hpp so a single 64-bit seed
+    reproduces a campaign exactly; wall-clock reads in the library are
+    either dead (virtual time exists) or a determinism leak.
+
+pointer-key
+    Pointer values used as sort keys or hash inputs: std::hash over a
+    pointer type, reinterpret_cast of a pointer to (u)intptr_t, or a
+    comparator that orders two pointer-typed parameters by the pointers
+    themselves. Allocation addresses differ run to run (ASLR, allocator
+    state), so any such ordering is nondeterministic by construction.
+    Order by an owned id or by the pointee's contents instead.
+
+float-accum
+    `float` used as an accumulator (a float-declared variable that is the
+    target of `+=`, or a std::accumulate seeded with a float literal).
+    Single-precision folds lose associativity headroom fast; when a later
+    PR reorders a reduction (tree fold, SIMD, per-shard partials) the
+    rounded result changes and the bit-identical gates trip. Stats folds
+    accumulate in double or integers.
+
+Escape hatch
+------------
+A finding on line L is suppressed when line L, or the contiguous `//`
+comment block directly above it, contains `beholder6: lint-allow(<rule>)`
+— optionally (and preferably) with a reason:
+`// beholder6: lint-allow(unordered-iter): feeds an order-independent sum`.
+Allows are per-rule and per-line, never per-file.
+
+Self-test
+---------
+`--self-test` lints the seeded-violation corpus in tools/lint_corpus/:
+every line marked `// lint-expect(<rule>)` must be flagged with exactly
+that rule, and nothing unmarked may be flagged. The corpus is the linter's
+own regression suite; CI runs it before trusting a clean tree.
+
+Exit codes: 0 clean (or self-test pass), 1 findings (or self-test fail),
+2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_SCOPE = REPO_ROOT / "src"
+CORPUS_DIR = REPO_ROOT / "tools" / "lint_corpus"
+
+# Files allowed to hold the primitives the rules otherwise ban.
+RAW_RANDOM_EXEMPT = ("netbase/rng.hpp",)
+
+ALLOW_RE = re.compile(r"beholder6:\s*lint-allow\(([a-z-]+)\)")
+EXPECT_RE = re.compile(r"lint-expect\(([a-z-]+)\)")
+
+UNORDERED_TYPE_RE = re.compile(
+    r"\b(?:std::unordered_(?:map|set|multimap|multiset)|FlatMap|FlatSet)\s*<"
+)
+# `using Foo = std::unordered_set<...>` / `using Flat = FlatSet<...>`:
+# aliases of unordered types make later declarations hazardous too.
+UNORDERED_ALIAS_RE = re.compile(
+    r"\busing\s+(\w+)\s*=\s*(?:[\w:]*::)?(?:unordered_(?:map|set|multimap|multiset)|FlatMap|FlatSet)\s*<"
+)
+DECL_NAME_RE = re.compile(r">\s*&?\s*(\w+)\s*(?:;|=|\{|\(|\)|,)")
+RANGE_FOR_RE = re.compile(r"\bfor\s*\((?P<head>[^;{]*?):(?P<range>[^)]*)\)")
+BEGIN_WALK_RE = re.compile(r"(\w+)(?:\(\))?\s*(?:\.|->)\s*begin\s*\(\)")
+
+RAW_RANDOM_PATTERNS = [
+    (re.compile(r"(?<![\w:])s?rand\s*\("), "rand()/srand()"),
+    (re.compile(r"\brandom_device\b"), "std::random_device"),
+    (re.compile(r"(?<![\w_.])time\s*\(\s*(?:NULL|nullptr|0)?\s*\)"), "time()"),
+    (re.compile(r"(?<![\w_.])clock\s*\(\s*\)"), "clock()"),
+    (re.compile(r"\bgetrandom\b"), "getrandom()"),
+    (re.compile(r"/dev/u?random"), "/dev/urandom"),
+    (re.compile(r"\b(?:system_clock|steady_clock|high_resolution_clock)\b"),
+     "std::chrono wall clock"),
+]
+
+POINTER_HASH_RE = re.compile(r"std::hash\s*<[^<>]*\*\s*(?:const\s*)?>")
+UINTPTR_CAST_RE = re.compile(r"reinterpret_cast\s*<\s*(?:std::)?u?intptr_t\s*>")
+# A one-line comparator ordering two pointer params by the pointers
+# themselves: [](const T* a, const T* b) { return a < b; }
+PTR_CMP_RE = re.compile(
+    r"\[[^\]]*\]\s*\(\s*(?:const\s+)?[\w:]+\s*\*\s*(?:const\s+)?(\w+)\s*,"
+    r"\s*(?:const\s+)?[\w:]+\s*\*\s*(?:const\s+)?(\w+)\s*\)"
+    r"\s*(?:->\s*\w+\s*)?\{\s*return\s+(\w+)\s*[<>]=?\s*(\w+)\s*;"
+)
+
+FLOAT_DECL_RE = re.compile(r"(?<!\w)float\s+(\w+)\s*(?:=|\{|;|\+=)")
+FLOAT_ACCUM_LITERAL_RE = re.compile(r"\baccumulate\s*\([^;]*?\b\d+(?:\.\d*)?f\b")
+
+RULES = {
+    "unordered-iter": "iteration over a hash container whose order is "
+                      "layout-dependent (std::unordered_*, FlatMap/FlatSet)",
+    "raw-random": "entropy or wall-clock source outside netbase/rng.hpp",
+    "pointer-key": "pointer value used as a sort key or hash input",
+    "float-accum": "float used as an accumulator in a fold",
+}
+
+
+class Finding:
+    def __init__(self, path: Path, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        try:
+            rel = self.path.relative_to(REPO_ROOT)
+        except ValueError:
+            rel = self.path
+        return f"{rel}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_keep_lines(lines: list[str]) -> list[str]:
+    """Blank out // and /* */ comment text (so commented-out code never
+    fires a rule) while preserving line numbering."""
+    out = []
+    in_block = False
+    for raw in lines:
+        line = raw
+        res = []
+        i = 0
+        while i < len(line):
+            if in_block:
+                end = line.find("*/", i)
+                if end == -1:
+                    i = len(line)
+                else:
+                    in_block = False
+                    i = end + 2
+            else:
+                sl = line.find("//", i)
+                bl = line.find("/*", i)
+                if sl != -1 and (bl == -1 or sl < bl):
+                    res.append(line[i:sl])
+                    i = len(line)
+                elif bl != -1:
+                    res.append(line[i:bl])
+                    in_block = True
+                    i = bl + 2
+                else:
+                    res.append(line[i:])
+                    i = len(line)
+        out.append("".join(res))
+    return out
+
+
+def collect_aliases(code_lines: list[str]) -> set[str]:
+    """Type alias names (`using X = std::unordered_set<...>`) that make a
+    later `X name` declaration hazardous."""
+    aliases: set[str] = set()
+    for line in code_lines:
+        for m in UNORDERED_ALIAS_RE.finditer(line):
+            aliases.add(m.group(1))
+    return aliases
+
+
+def collect_unordered_names(code_lines: list[str],
+                            aliases: frozenset[str] | set[str] = frozenset()
+                            ) -> set[str]:
+    """Identifiers (variables, members, and functions returning such) whose
+    type is an unordered container — the feeds the unordered-iter rule
+    watches. Purely lexical; `aliases` lets a companion header's type
+    aliases taint declarations here."""
+    names: set[str] = set()
+    alias_re = None
+    if aliases:
+        alias_re = re.compile(
+            r"\b(?:" + "|".join(sorted(aliases)) +
+            r")\s*&?\s+(\w+)\s*(?:;|=|\{|\(|\)|,)")
+    for line in code_lines:
+        if UNORDERED_TYPE_RE.search(line):
+            for m in DECL_NAME_RE.finditer(line):
+                names.add(m.group(1))
+        if alias_re:
+            for m in alias_re.finditer(line):
+                names.add(m.group(1))
+    return names
+
+
+def lint_file(path: Path, *, corpus_mode: bool = False) -> list[Finding]:
+    text = path.read_text(encoding="utf-8", errors="replace")
+    lines = text.splitlines()
+    code = strip_comments_keep_lines(lines)
+    findings: list[Finding] = []
+    rel = path.as_posix()
+
+    # Members, accessors, and type aliases live in the class header but are
+    # used in the .cpp: fold the companion header into the taint set.
+    companion_code: list[str] = []
+    if path.suffix == ".cpp":
+        companion = path.with_suffix(".hpp")
+        if companion.exists():
+            companion_code = strip_comments_keep_lines(
+                companion.read_text(encoding="utf-8",
+                                    errors="replace").splitlines())
+    aliases = collect_aliases(code) | collect_aliases(companion_code)
+    unordered_names = (collect_unordered_names(code, aliases) |
+                       collect_unordered_names(companion_code, aliases))
+
+    # -- unordered-iter ------------------------------------------------------
+    def range_expr_hazardous(expr: str) -> bool:
+        if UNORDERED_TYPE_RE.search(expr):
+            return True  # e.g. a direct temporary
+        tokens = re.findall(r"\w+", expr)
+        return any(t in unordered_names for t in tokens)
+
+    for i, line in enumerate(code, 1):
+        m = RANGE_FOR_RE.search(line)
+        if m and range_expr_hazardous(m.group("range")):
+            findings.append(Finding(
+                path, i, "unordered-iter",
+                "range-for over an unordered container: visit order is "
+                "layout-dependent; iterate a sorted copy, or annotate why "
+                "order cannot reach output/sort/hash"))
+            continue
+        wm = BEGIN_WALK_RE.search(line)
+        if wm and wm.group(1) in unordered_names and "for" in line:
+            findings.append(Finding(
+                path, i, "unordered-iter",
+                "iterator walk over an unordered container: visit order is "
+                "layout-dependent"))
+
+    # -- raw-random ----------------------------------------------------------
+    if corpus_mode or not rel.endswith(RAW_RANDOM_EXEMPT):
+        for i, line in enumerate(code, 1):
+            for pat, what in RAW_RANDOM_PATTERNS:
+                if pat.search(line):
+                    findings.append(Finding(
+                        path, i, "raw-random",
+                        f"{what}: all randomness/time must come from the "
+                        "seeded netbase/rng.hpp machinery or virtual time"))
+                    break
+
+    # -- pointer-key ---------------------------------------------------------
+    for i, line in enumerate(code, 1):
+        if POINTER_HASH_RE.search(line):
+            findings.append(Finding(
+                path, i, "pointer-key",
+                "std::hash over a pointer type: addresses differ run to "
+                "run; hash an owned id or the pointee's contents"))
+        elif UINTPTR_CAST_RE.search(line):
+            findings.append(Finding(
+                path, i, "pointer-key",
+                "pointer reinterpret_cast to uintptr_t: the numeric value "
+                "is ASLR-dependent; key on an owned id instead"))
+    joined_code = "\n".join(code)
+    for m in PTR_CMP_RE.finditer(joined_code):
+        a, b, x, y = m.groups()
+        if {a, b} == {x, y}:
+            line_no = joined_code[:m.start()].count("\n") + 1
+            findings.append(Finding(
+                path, line_no, "pointer-key",
+                "comparator orders pointer parameters by address: "
+                "run-to-run nondeterministic; compare pointees or ids"))
+
+    # -- float-accum ---------------------------------------------------------
+    # Scope float declarations to their enclosing function, approximated by
+    # the next column-0 closing brace — a same-named double elsewhere in the
+    # file must not inherit the taint.
+    float_decl_lines: dict[str, int] = {}
+    for i, line in enumerate(code, 1):
+        if re.match(r"^}", line):
+            float_decl_lines.clear()
+        for m in FLOAT_DECL_RE.finditer(line):
+            float_decl_lines.setdefault(m.group(1), i)
+        if FLOAT_ACCUM_LITERAL_RE.search(line):
+            findings.append(Finding(
+                path, i, "float-accum",
+                "std::accumulate seeded with a float literal: accumulate "
+                "in double (0.0) or integers"))
+        for name, decl_line in float_decl_lines.items():
+            if re.search(r"\b" + re.escape(name) + r"\s*\+=", line):
+                findings.append(Finding(
+                    path, i, "float-accum",
+                    f"'{name}' is a float accumulator (declared line "
+                    f"{decl_line}): fold in double or integers — float "
+                    "folds change under reassociation"))
+
+    # -- escape hatch --------------------------------------------------------
+    def allowed(f: Finding) -> bool:
+        # The allow may sit on the flagged line or anywhere in the
+        # contiguous comment block directly above it.
+        def has_allow(ln: int) -> bool:
+            return any(am.group(1) == f.rule
+                       for am in ALLOW_RE.finditer(lines[ln - 1]))
+
+        if 1 <= f.line <= len(lines) and has_allow(f.line):
+            return True
+        ln = f.line - 1
+        while ln >= 1 and lines[ln - 1].strip().startswith("//"):
+            if has_allow(ln):
+                return True
+            ln -= 1
+        return False
+
+    return [f for f in findings if not allowed(f)]
+
+
+def iter_sources(paths: list[Path]):
+    for p in paths:
+        if p.is_dir():
+            yield from sorted(
+                q for q in p.rglob("*") if q.suffix in (".cpp", ".hpp", ".h"))
+        elif p.exists():
+            yield p
+        else:
+            raise FileNotFoundError(p)
+
+
+def run_self_test() -> int:
+    if not CORPUS_DIR.is_dir():
+        print(f"self-test: corpus directory missing: {CORPUS_DIR}",
+              file=sys.stderr)
+        return 1
+    failures = 0
+    files = sorted(CORPUS_DIR.glob("*.cpp"))
+    if not files:
+        print("self-test: corpus is empty", file=sys.stderr)
+        return 1
+    for path in files:
+        expected: set[tuple[int, str]] = set()
+        for i, line in enumerate(path.read_text().splitlines(), 1):
+            for m in EXPECT_RE.finditer(line):
+                expected.add((i, m.group(1)))
+        got = {(f.line, f.rule) for f in lint_file(path, corpus_mode=True)}
+        missed = expected - got
+        spurious = got - expected
+        status = "ok" if not missed and not spurious else "FAIL"
+        print(f"self-test: {path.name}: {len(got)} finding(s) [{status}]")
+        for line_no, rule in sorted(missed):
+            print(f"  MISSED   {path.name}:{line_no} expected [{rule}]")
+            failures += 1
+        for line_no, rule in sorted(spurious):
+            print(f"  SPURIOUS {path.name}:{line_no} flagged [{rule}]")
+            failures += 1
+        # Each corpus file must also make the whole-file verdict nonzero
+        # (the acceptance contract: linter exits nonzero on each seeded
+        # corpus file) — unless it is the designated clean file.
+        if path.name.startswith("clean") and got:
+            print(f"  FAIL     {path.name} must lint clean")
+            failures += 1
+        if not path.name.startswith("clean") and not got:
+            print(f"  FAIL     {path.name} must produce findings")
+            failures += 1
+    if failures:
+        print(f"self-test: {failures} mismatch(es)", file=sys.stderr)
+        return 1
+    print(f"self-test: {len(files)} corpus file(s) verified")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(
+        description="beholder6 determinism linter (see module docstring; "
+                    "run --explain RULE for one rule's rationale)")
+    ap.add_argument("paths", nargs="*", type=Path,
+                    help="files or directories to lint (default: src/)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="verify the linter against tools/lint_corpus/")
+    ap.add_argument("--explain", metavar="RULE",
+                    help="print one rule's documentation and exit")
+    ap.add_argument("--list-rules", action="store_true")
+    args = ap.parse_args(argv)
+
+    if args.list_rules:
+        for rule, desc in RULES.items():
+            print(f"{rule}: {desc}")
+        return 0
+    if args.explain:
+        if args.explain not in RULES:
+            print(f"unknown rule: {args.explain}", file=sys.stderr)
+            return 2
+        doc = __doc__.split("\n")
+        start = next(i for i, l in enumerate(doc) if l == args.explain)
+        end = start + 1
+        while end < len(doc) and (not doc[end] or doc[end].startswith(" ")):
+            end += 1
+        print("\n".join(doc[start:end]).rstrip())
+        return 0
+    if args.self_test:
+        return run_self_test()
+
+    paths = args.paths or [DEFAULT_SCOPE]
+    try:
+        findings = []
+        n_files = 0
+        for src in iter_sources(paths):
+            n_files += 1
+            findings.extend(lint_file(src))
+    except FileNotFoundError as e:
+        print(f"no such path: {e}", file=sys.stderr)
+        return 2
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"\n{len(findings)} determinism hazard(s) in {n_files} file(s). "
+              "Fix, or annotate with "
+              "'// beholder6: lint-allow(<rule>): <reason>'.")
+        return 1
+    print(f"determinism lint: {n_files} file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
