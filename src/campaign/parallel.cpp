@@ -1,13 +1,13 @@
 #include "campaign/parallel.hpp"
 
 #include <algorithm>
-#include <condition_variable>
 #include <deque>
 #include <exception>
 #include <memory>
-#include <mutex>
+#include <optional>
 #include <thread>
 
+#include "netbase/annotated_mutex.hpp"
 #include "netbase/dcheck.hpp"
 
 namespace beholder6::campaign {
@@ -61,6 +61,111 @@ struct EpochFamily {
   // once per epoch. Indexed by the unit's subshard (stable across the
   // exhausted-member erasures that shrink `members`).
   std::vector<char> arrived_flags;
+};
+
+/// Scheduler: a FIFO of claimable unit indexes plus the epoch-barrier
+/// bookkeeping, everything mutable guarded by one mutex. Free units leave
+/// the queue once; epoch units cycle through it once per epoch, re-enqueued
+/// by their family's barrier merge. The claim order never touches results
+/// (free units are independent; epoch merges are ordered by the barrier
+/// protocol, not by arrival).
+///
+/// This is the class form of what used to be loose locals in run(): the
+/// B6_GUARDED_BY annotations make the Clang thread-safety pass
+/// (CI `thread-safety` job) prove that every touch of the queue, the
+/// arrival flags, and the error slot happens under the mutex. Per-unit
+/// state (unit_results, epoch_ctx) deliberately stays outside: exactly one
+/// worker owns a unit between claim() and report(), and the mutex
+/// hand-off in those two calls is what publishes its writes to the next
+/// claimant — a transfer the analysis cannot express, so the contract
+/// lives here in words instead of an annotation.
+class Scheduler {
+ public:
+  /// `units` must outlive the scheduler and is immutable during the run.
+  Scheduler(const std::vector<WorkUnit>& units,
+            std::vector<EpochFamily> families)
+      : units_(units),
+        families_(std::move(families)),
+        unfinished_(units.size()),
+        exhausted_(units.size(), 0) {
+    for (std::size_t u = 0; u < units_.size(); ++u) ready_.push_back(u);
+  }
+
+  /// Claim the next ready unit; blocks while the queue is empty. Returns
+  /// nullopt once the campaign is finished or a worker has failed.
+  std::optional<std::size_t> claim() B6_EXCLUDES(mu_) {
+    netbase::MutexLock lock{mu_};
+    // Explicit wait loop: the guarded reads must sit in this annotated
+    // method, not in a wait-predicate lambda (lambda bodies are analyzed
+    // as separate functions with no capability context).
+    while (ready_.empty() && unfinished_ != 0 && !error_) cv_.wait(lock);
+    if (error_ || unfinished_ == 0) return std::nullopt;
+    const std::size_t u = ready_.front();
+    ready_.pop_front();
+    return u;
+  }
+
+  /// Report a claimed unit back: exhausted (`done`) or paused at its epoch
+  /// barrier. The family's last arrival merges the epoch deltas (every
+  /// sibling is quiescent — it paused or exhausted before reporting in
+  /// under this mutex, which is also what makes its delta writes visible
+  /// here) and requeues the survivors.
+  void report(std::size_t u, bool done) B6_EXCLUDES(mu_) {
+    netbase::MutexLock lock{mu_};
+    if (done) {
+      exhausted_[u] = 1;
+      --unfinished_;
+    }
+    if (units_[u].family >= 0) {
+      EpochFamily& fam = families_[static_cast<std::size_t>(units_[u].family)];
+      B6_DCHECK(fam.arrived_flags[units_[u].subshard] == 0,
+                "epoch-family unit reported a barrier arrival twice in one "
+                "epoch — the EpochBarrier schedule is broken");
+      fam.arrived_flags[units_[u].subshard] = 1;
+      B6_DCHECK(fam.arrived < fam.members.size(),
+                "more barrier arrivals than live family members");
+      if (++fam.arrived == fam.members.size()) {
+        fam.barrier->merge_epoch();
+        fam.arrived = 0;
+        // Drop exhausted members in place (a lambda for erase_if would
+        // fall outside the analysis' capability context).
+        std::size_t keep = 0;
+        for (const std::size_t m : fam.members)
+          if (exhausted_[m] == 0) fam.members[keep++] = m;
+        fam.members.resize(keep);
+        for (const std::size_t m : fam.members) {
+          fam.arrived_flags[units_[m].subshard] = 0;
+          ready_.push_back(m);
+        }
+      }
+    }
+    cv_.notify_all();
+  }
+
+  /// Record the first failure and wake everyone so the pool drains.
+  void fail(std::exception_ptr e) B6_EXCLUDES(mu_) {
+    netbase::MutexLock lock{mu_};
+    if (!error_) error_ = std::move(e);
+    cv_.notify_all();
+  }
+
+  /// The first failure, if any. Meant for after the pool has joined, but
+  /// takes the mutex so it is safe (and provably so) at any point.
+  [[nodiscard]] std::exception_ptr error() B6_EXCLUDES(mu_) {
+    netbase::MutexLock lock{mu_};
+    return error_;
+  }
+
+ private:
+  const std::vector<WorkUnit>& units_;  // immutable during the run
+
+  netbase::Mutex mu_;
+  netbase::CondVar cv_;
+  std::deque<std::size_t> ready_ B6_GUARDED_BY(mu_);
+  std::vector<EpochFamily> families_ B6_GUARDED_BY(mu_);
+  std::size_t unfinished_ B6_GUARDED_BY(mu_);
+  std::vector<char> exhausted_ B6_GUARDED_BY(mu_);
+  std::exception_ptr error_ B6_GUARDED_BY(mu_);
 };
 
 }  // namespace
@@ -181,28 +286,14 @@ ParallelResult ParallelCampaignRunner::run(const std::vector<Shard>& shards,
     return true;
   };
 
-  // Scheduler: a FIFO of claimable unit indexes under one mutex. Free
-  // units leave the queue once; epoch units cycle through it once per
-  // epoch, re-enqueued by their family's barrier merge. The claim order
-  // never touches results (free units are independent; epoch merges are
-  // ordered by the barrier protocol, not by arrival).
-  std::mutex mu;
-  std::condition_variable cv;
-  std::deque<std::size_t> ready;
-  for (std::size_t u = 0; u < units.size(); ++u) ready.push_back(u);
-  std::size_t unfinished = units.size();
-  std::vector<char> exhausted(units.size(), 0);
-  std::exception_ptr error;
+  // Scheduler (see the class above): claim → run outside the lock →
+  // report. A worker exits when claim() returns nullopt (drained or a
+  // sibling failed) or its own unit threw.
+  Scheduler sched{units, std::move(families)};
 
   auto worker = [&] {
-    std::unique_lock<std::mutex> lock{mu};
-    for (;;) {
-      cv.wait(lock, [&] { return !ready.empty() || unfinished == 0 || error; });
-      if (error || unfinished == 0) return;
-      const std::size_t u = ready.front();
-      ready.pop_front();
-      lock.unlock();
-
+    while (const auto claimed = sched.claim()) {
+      const std::size_t u = *claimed;
       bool done = false;
       try {
         if (units[u].family < 0) {
@@ -212,41 +303,10 @@ ParallelResult ParallelCampaignRunner::run(const std::vector<Shard>& shards,
           done = drive_epoch_unit(u);
         }
       } catch (...) {
-        lock.lock();
-        if (!error) error = std::current_exception();
-        cv.notify_all();
+        sched.fail(std::current_exception());
         return;
       }
-
-      lock.lock();
-      if (done) {
-        exhausted[u] = 1;
-        --unfinished;
-      }
-      if (units[u].family >= 0) {
-        // Barrier arrival. The family's last arrival merges the epoch
-        // deltas (every sibling is quiescent — it paused or exhausted
-        // before reporting in under this mutex, which is also what makes
-        // its delta writes visible here) and requeues the survivors.
-        EpochFamily& fam = families[static_cast<std::size_t>(units[u].family)];
-        B6_DCHECK(fam.arrived_flags[units[u].subshard] == 0,
-                  "epoch-family unit reported a barrier arrival twice in one "
-                  "epoch — the EpochBarrier schedule is broken");
-        fam.arrived_flags[units[u].subshard] = 1;
-        B6_DCHECK(fam.arrived < fam.members.size(),
-                  "more barrier arrivals than live family members");
-        if (++fam.arrived == fam.members.size()) {
-          fam.barrier->merge_epoch();
-          fam.arrived = 0;
-          std::erase_if(fam.members,
-                        [&](std::size_t m) { return exhausted[m] != 0; });
-          for (const std::size_t m : fam.members) {
-            fam.arrived_flags[units[m].subshard] = 0;
-            ready.push_back(m);
-          }
-        }
-      }
-      cv.notify_all();
+      sched.report(u, done);
     }
   };
 
@@ -261,7 +321,7 @@ ParallelResult ParallelCampaignRunner::run(const std::vector<Shard>& shards,
     for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker);
     for (auto& t : pool) t.join();
   }
-  if (error) std::rethrow_exception(error);
+  if (const auto error = sched.error()) std::rethrow_exception(error);
 
   // Canonical-order merge. Units are listed in (parent shard, subshard)
   // order, so one forward fold realizes "subshards fold into their parent

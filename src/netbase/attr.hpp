@@ -1,0 +1,27 @@
+// netbase/attr.hpp — function attributes the performance contracts lean on.
+//
+// B6_COLDPATH marks the one-time-setup / growth half of a hot-path
+// function: table rehashes, pool refills, route-cache misses. The
+// attribute does two jobs at once:
+//
+//   * codegen: `cold` moves the body out of the hot text and biases every
+//     branch toward it as not-taken; `noinline` keeps it from being merged
+//     back into its caller at high optimization levels;
+//   * analysis: tools/check_noalloc.py walks the Release call graph from
+//     the hot-path entry points and fails on any reachable allocation —
+//     *except* through the named cold gates in its allowlist. Those gates
+//     only exist as call-graph nodes because this attribute keeps them
+//     outlined; removing B6_COLDPATH from a gated function silently
+//     re-inlines its allocation into the hot caller and turns the checker
+//     red, which is exactly the intended failure mode.
+//
+// Keep this list honest: a function wearing B6_COLDPATH must be off the
+// steady-state path by construction (amortized growth, first-touch fill,
+// error handling), not merely "usually rare".
+#pragma once
+
+#if defined(__GNUC__) || defined(__clang__)
+#define B6_COLDPATH __attribute__((noinline, cold))
+#else
+#define B6_COLDPATH
+#endif

@@ -32,6 +32,7 @@
 #include <utility>
 #include <vector>
 
+#include "netbase/attr.hpp"
 #include "netbase/huge_alloc.hpp"
 #include "netbase/rng.hpp"
 
@@ -188,7 +189,11 @@ class FlatTable {
   using EntryVec = std::vector<Entry, HugePageAllocator<Entry>>;
   using StateVec = std::vector<SlotState, HugePageAllocator<SlotState>>;
 
-  void rehash(std::size_t want) {
+  // Cold gate: the only allocating branch of the insert path. B6_COLDPATH
+  // keeps it outlined so tools/check_noalloc.py sees it as a named node in
+  // the Release call graph (it is on that tool's allowlist); in steady
+  // state a pre-reserved table never re-enters it.
+  B6_COLDPATH void rehash(std::size_t want) {
     std::size_t cap = 16;
     while (cap * 3 / 4 < size_ + 1) cap *= 2;
     if (want > cap) cap = want;

@@ -31,6 +31,7 @@
 #include <optional>
 #include <vector>
 
+#include "netbase/attr.hpp"
 #include "netbase/dcheck.hpp"
 #include "netbase/flat_map.hpp"
 #include "netbase/huge_alloc.hpp"
@@ -104,8 +105,12 @@ class RouteCache {
     __builtin_prefetch(&slots_[hash(key) & (slots_.size() - 1)]);
   }
 
-  /// Memoize a freshly resolved path and return its view.
-  Resolved insert(const RouteKey& key, const Path& path) {
+  /// Memoize a freshly resolved path and return its view. Cold gate: this
+  /// is the miss path (it only runs after Topology::path already resolved
+  /// the route), so it may allocate — B6_COLDPATH keeps it outlined as a
+  /// named allowlisted node for tools/check_noalloc.py, off the hit path's
+  /// hot text.
+  B6_COLDPATH Resolved insert(const RouteKey& key, const Path& path) {
     // Double-inserting a key would leave two live slots for it, and which
     // one a probe hits would depend on probe history — the resolve path
     // must look up before it inserts. O(probe-chain) scan, so level 2.
@@ -229,7 +234,7 @@ class RouteCache {
   using SlotVec = std::vector<Slot, netbase::HugePageAllocator<Slot>>;
   using HopVec = std::vector<CompactHop, netbase::HugePageAllocator<CompactHop>>;
 
-  void grow() {
+  B6_COLDPATH void grow() {
     SlotVec old = std::move(slots_);
     slots_.assign(old.empty() ? 1024 : old.size() * 2, Slot{});
     for (const auto& s : old)

@@ -447,7 +447,7 @@ std::vector<Asn> Topology::as_path(Asn from, Asn to) const {
   if (src == dst) return {from};
   const std::uint64_t cache_key = (static_cast<std::uint64_t>(src) << 32) | dst;
   {
-    std::shared_lock lock{as_path_mu_};
+    netbase::SharedLock lock{as_path_mu_};
     if (const auto it = as_path_cache_.find(cache_key); it != as_path_cache_.end())
       return it->second;
   }
@@ -475,7 +475,7 @@ std::vector<Asn> Topology::as_path(Asn from, Asn to) const {
   {
     // Losing a concurrent race just recomputes the same deterministic BFS;
     // emplace keeps the first insertion either way.
-    std::unique_lock lock{as_path_mu_};
+    netbase::SharedMutexWriterLock lock{as_path_mu_};
     as_path_cache_.emplace(cache_key, path);
   }
   return path;

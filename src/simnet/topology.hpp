@@ -23,10 +23,10 @@
 
 #include <cstdint>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "netbase/annotated_mutex.hpp"
 #include "netbase/eui64.hpp"
 #include "netbase/flat_map.hpp"
 #include "netbase/ipv6.hpp"
@@ -235,9 +235,11 @@ class Topology {
   // miss. One Topology is shared by every Network replica of a parallel
   // campaign, so the memo is guarded (read-mostly; misses recompute
   // deterministically). FlatMap keeps the read path one probe sequence in
-  // contiguous memory instead of a node chase per lookup.
-  mutable std::shared_mutex as_path_mu_;
-  mutable netbase::FlatMap<std::uint64_t, std::vector<Asn>> as_path_cache_;
+  // contiguous memory instead of a node chase per lookup. The B6_GUARDED_BY
+  // makes the guard compiler-checked (CI `thread-safety` job).
+  mutable netbase::SharedMutex as_path_mu_;
+  mutable netbase::FlatMap<std::uint64_t, std::vector<Asn>> as_path_cache_
+      B6_GUARDED_BY(as_path_mu_);
 };
 
 }  // namespace beholder6::simnet

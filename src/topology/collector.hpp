@@ -109,6 +109,15 @@ struct DiscoverySample {
   std::uint64_t unique_interfaces;
 };
 
+// Threading: TraceCollector is deliberately unsynchronized
+// (thread-compatible, like std containers). During a parallel campaign
+// every instance is private to one worker; instances cross threads only at
+// the pool-join edge inside ParallelCampaignRunner::run, after which
+// merge() runs on a single thread. That is why the Clang thread-safety
+// pass (netbase/annotated_mutex.hpp) has no annotations here: there is no
+// guarded state, and the join is the publication point. Sharing one
+// collector across live workers would be a bug the *sink wiring* must
+// prevent — see prober/multivantage.cpp for the worker-private pattern.
 class TraceCollector {
  public:
   /// Feed one decoded reply. `probes_so_far` timestamps the discovery curve.

@@ -31,38 +31,11 @@ std::optional<FragmentHeader> FragmentHeader::decode(
 std::vector<std::vector<std::uint8_t>> fragment_packet(
     const std::vector<std::uint8_t>& packet, std::uint32_t identification,
     std::size_t mtu) {
-  if (packet.size() <= mtu) return {packet};
-  const auto ip = Ipv6Header::decode(packet);
-  if (!ip) return {};
-
-  // Fragmentable part: everything after the base header. Per-fragment
-  // payload capacity, rounded down to 8-octet units.
-  const auto payload = std::span(packet).subspan(Ipv6Header::kSize);
-  const std::size_t cap =
-      ((mtu - Ipv6Header::kSize - FragmentHeader::kSize) / 8) * 8;
-
   std::vector<std::vector<std::uint8_t>> out;
-  std::size_t pos = 0;
-  while (pos < payload.size()) {
-    const std::size_t n = std::min(cap, payload.size() - pos);
-    const bool more = pos + n < payload.size();
-
-    std::vector<std::uint8_t> frag;
-    Ipv6Header fh = *ip;
-    fh.next_header = kFragmentNextHeader;
-    fh.payload_length = static_cast<std::uint16_t>(FragmentHeader::kSize + n);
-    fh.encode(frag);
-    FragmentHeader fragment;
-    fragment.next_header = ip->next_header;
-    fragment.offset = static_cast<std::uint16_t>(pos / 8);
-    fragment.more_fragments = more;
-    fragment.identification = identification;
-    fragment.encode(frag);
-    frag.insert(frag.end(), payload.begin() + static_cast<std::ptrdiff_t>(pos),
-                payload.begin() + static_cast<std::ptrdiff_t>(pos + n));
-    out.push_back(std::move(frag));
-    pos += n;
-  }
+  fragment_packet_into(std::span(packet), identification, mtu,
+                       [&]() -> std::vector<std::uint8_t>& {
+                         return out.emplace_back();
+                       });
   return out;
 }
 

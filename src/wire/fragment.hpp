@@ -32,8 +32,62 @@ struct FragmentHeader {
 };
 
 /// Split an assembled IPv6 packet (40B header + payload) into fragments
-/// that fit `mtu`, all tagged with `identification`. A packet that already
-/// fits is returned unchanged (no fragment header added).
+/// that fit `mtu`, all tagged with `identification`, encoding each into a
+/// buffer obtained from `acquire()` — a cleared std::vector<uint8_t>&
+/// whose retained capacity is reused (e.g. a simnet PacketPool slot). A
+/// packet that already fits is copied whole into one acquired buffer (no
+/// fragment header added). Returns the number of buffers filled; 0 for a
+/// malformed packet, in which case nothing is acquired.
+///
+/// This is the hot-path form of fragment_packet: it builds no containers
+/// of its own, so a warm caller's reply path stays allocation-free
+/// (tools/check_noalloc.py walks through the instantiation).
+template <typename AcquireFn>
+std::size_t fragment_packet_into(std::span<const std::uint8_t> packet,
+                                 std::uint32_t identification,
+                                 std::size_t mtu, AcquireFn&& acquire) {
+  if (packet.size() <= mtu) {
+    acquire().assign(packet.begin(), packet.end());
+    return 1;
+  }
+  const auto ip = Ipv6Header::decode(packet);
+  if (!ip) return 0;
+
+  // Fragmentable part: everything after the base header. Per-fragment
+  // payload capacity, rounded down to 8-octet units.
+  const auto payload = packet.subspan(Ipv6Header::kSize);
+  const std::size_t cap =
+      ((mtu - Ipv6Header::kSize - FragmentHeader::kSize) / 8) * 8;
+
+  std::size_t pos = 0, count = 0;
+  while (pos < payload.size()) {
+    const std::size_t n = std::min(cap, payload.size() - pos);
+    const bool more = pos + n < payload.size();
+
+    std::vector<std::uint8_t>& frag = acquire();
+    frag.clear();
+    Ipv6Header fh = *ip;
+    fh.next_header = kFragmentNextHeader;
+    fh.payload_length = static_cast<std::uint16_t>(FragmentHeader::kSize + n);
+    fh.encode(frag);
+    FragmentHeader fragment;
+    fragment.next_header = ip->next_header;
+    fragment.offset = static_cast<std::uint16_t>(pos / 8);
+    fragment.more_fragments = more;
+    fragment.identification = identification;
+    fragment.encode(frag);
+    const auto piece = payload.subspan(pos, n);
+    frag.insert(frag.end(), piece.begin(), piece.end());
+    ++count;
+    pos += n;
+  }
+  return count;
+}
+
+/// Convenience form for cold callers and tests: the same fragments, each
+/// in a freshly allocated vector. The simnet reply path must not use this
+/// — it puts per-reply heap allocations on the inject fast path (that is
+/// how tools/check_noalloc.py originally caught it there).
 [[nodiscard]] std::vector<std::vector<std::uint8_t>> fragment_packet(
     const std::vector<std::uint8_t>& packet, std::uint32_t identification,
     std::size_t mtu = kMinMtu);

@@ -157,7 +157,9 @@ TEST(FlatSetFuzz, ClearRetainsCapacityAndStaysCorrect) {
       ASSERT_EQ(flat.insert(k).second, oracle.insert(k).second);
     }
     for (const auto& k : oracle) ASSERT_TRUE(flat.contains(k));
-    if (cycle > 0) ASSERT_GE(flat.capacity(), cap_before);
+    if (cycle > 0) {
+      ASSERT_GE(flat.capacity(), cap_before);
+    }
     flat.clear();
     oracle.clear();
     ASSERT_TRUE(flat.empty());

@@ -92,6 +92,59 @@ TEST(Fragmentation, ReassemblyRejectsGapsAndMixedIds) {
   EXPECT_FALSE(reassemble({}));
 }
 
+// Regression for the hot-path form: tools/check_noalloc.py caught the
+// simnet reply path building fresh per-fragment vectors through the
+// vector-returning fragment_packet; it now encodes into caller-provided
+// buffers. The two forms must stay byte-identical, and a warm buffer set
+// must be reused in place (no reallocation on the second pass).
+TEST(Fragmentation, IntoBuffersMatchesVectorFormAndReusesCapacity) {
+  // Pool-like acquire: reuse buffers in order, clearing but keeping storage.
+  std::vector<std::vector<std::uint8_t>> bufs;
+  std::size_t next = 0;
+  auto acquire = [&]() -> std::vector<std::uint8_t>& {
+    if (next == bufs.size()) bufs.emplace_back();
+    auto& b = bufs[next++];
+    b.clear();
+    return b;
+  };
+
+  for (std::size_t payload : {100u, 2000u, 4096u}) {
+    const auto pkt = make_packet(payload);
+    const auto expect = fragment_packet(pkt, 321);
+    next = 0;
+    const auto n = fragment_packet_into(std::span(pkt), 321, kMinMtu, acquire);
+    ASSERT_EQ(n, expect.size()) << payload;
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_EQ(bufs[i], expect[i]) << payload << " fragment " << i;
+  }
+
+  // Warm second pass over the largest packet: every buffer's storage must
+  // be reused in place.
+  const auto pkt = make_packet(4096);
+  next = 0;
+  const auto n = fragment_packet_into(std::span(pkt), 321, kMinMtu, acquire);
+  std::vector<const std::uint8_t*> before;
+  for (std::size_t i = 0; i < n; ++i) before.push_back(bufs[i].data());
+  next = 0;
+  ASSERT_EQ(fragment_packet_into(std::span(pkt), 321, kMinMtu, acquire), n);
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_EQ(bufs[i].data(), before[i]) << "fragment " << i
+                                         << " reallocated on a warm pass";
+}
+
+TEST(Fragmentation, IntoBuffersRejectsMalformedWithoutAcquiring) {
+  std::vector<std::uint8_t> garbage(kMinMtu + 100, 0xab);  // not IPv6
+  std::size_t acquired = 0;
+  std::vector<std::uint8_t> buf;
+  const auto n = fragment_packet_into(
+      std::span(garbage), 1, kMinMtu, [&]() -> std::vector<std::uint8_t>& {
+        ++acquired;
+        return buf;
+      });
+  EXPECT_EQ(n, 0u);
+  EXPECT_EQ(acquired, 0u);
+}
+
 TEST(Fragmentation, ParametrizedSizesRoundTrip) {
   for (std::size_t payload : {1241u, 1500u, 2459u, 4096u, 9000u}) {
     const auto pkt = make_packet(payload);

@@ -2,8 +2,21 @@
 """Advisory perf-trajectory check for the hot-path bench.
 
 Compares a freshly produced BENCH_hotpath.json against the committed
-baseline copy and *warns* — never fails — when `fast_path.probes_per_sec`
-dropped by more than the threshold (default 25%).
+baseline copy and *warns* — never fails — when a tracked metric moved the
+wrong way by more than the threshold (default 25%). Tracked metrics:
+
+  fast_path.probes_per_sec                    higher is better (required)
+  giant_shard.split8_8threads_seconds         lower is better
+  giant_shard.split8_speedup_vs_unsplit       higher is better
+  doubletree_split.split4_8threads_seconds    lower is better
+
+The `giant_shard` / `doubletree_split` metrics are optional on both
+sides: the committed baseline may predate those bench sections, and a
+narrowed bench run may omit them. A missing optional metric prints a
+`skip` note instead of dying — the check must stay useful across
+baseline generations. `fast_path.probes_per_sec` has been in every
+baseline since the section existed, so its absence means broken wiring
+and exits 2.
 
 Warn-only is deliberate: CI machines are not the committed numbers'
 machine, runners are noisy neighbours, and the committed JSON itself says
@@ -14,8 +27,8 @@ regression shows up as the warning appearing on *every* run of a PR while
 neighbouring PRs stay quiet.
 
 Exit codes: 0 always for comparisons (including a triggered warning);
-2 for operator errors (missing file, malformed JSON, missing field) so a
-broken wiring of the check itself does fail loudly.
+2 for operator errors (missing file, malformed JSON, missing required
+field) so a broken wiring of the check itself does fail loudly.
 
 Usage:
   tools/check_bench_regression.py BASELINE.json FRESH.json [--threshold 0.25]
@@ -27,28 +40,43 @@ import argparse
 import json
 import sys
 
+# (dotted path, higher_is_better, required). Seconds metrics regress by
+# growing; throughput/speedup metrics regress by shrinking.
+METRICS: list[tuple[str, bool, bool]] = [
+    ("fast_path.probes_per_sec", True, True),
+    ("giant_shard.split8_8threads_seconds", False, False),
+    ("giant_shard.split8_speedup_vs_unsplit", True, False),
+    ("doubletree_split.split4_8threads_seconds", False, False),
+]
+
 
 def die(msg: str) -> None:
     print(f"check_bench_regression: {msg}", file=sys.stderr)
     sys.exit(2)
 
 
-def read_pps(path: str) -> float:
+def load(path: str) -> dict:
     try:
         with open(path, "r", encoding="utf-8") as fh:
-            doc = json.load(fh)
+            return json.load(fh)
     except OSError as e:
         die(f"cannot read {path}: {e}")
     except json.JSONDecodeError as e:
         die(f"{path} is not valid JSON: {e}")
-    try:
-        pps = doc["fast_path"]["probes_per_sec"]
-    except (KeyError, TypeError):
-        die(f"{path} has no fast_path.probes_per_sec")
-    if not isinstance(pps, (int, float)) or pps <= 0:
-        die(f"{path}: fast_path.probes_per_sec is {pps!r}, "
-            f"expected a positive number")
-    return float(pps)
+    raise AssertionError("unreachable")
+
+
+def lookup(doc: dict, path: str, src: str, required: bool) -> float | None:
+    node = doc
+    for part in path.split("."):
+        if not isinstance(node, dict) or part not in node:
+            if required:
+                die(f"{src} has no {path}")
+            return None
+        node = node[part]
+    if not isinstance(node, (int, float)) or isinstance(node, bool) or node <= 0:
+        die(f"{src}: {path} is {node!r}, expected a positive number")
+    return float(node)
 
 
 def main() -> int:
@@ -56,25 +84,39 @@ def main() -> int:
     ap.add_argument("baseline", help="committed BENCH_hotpath.json")
     ap.add_argument("fresh", help="just-produced BENCH_hotpath.json")
     ap.add_argument("--threshold", type=float, default=0.25,
-                    help="warn when fresh < (1 - threshold) * baseline "
-                         "(default 0.25)")
+                    help="warn when a metric moved the wrong way by more "
+                         "than this fraction (default 0.25)")
     args = ap.parse_args()
 
-    base = read_pps(args.baseline)
-    fresh = read_pps(args.fresh)
-    ratio = fresh / base
-    drop = 1.0 - ratio
+    base_doc = load(args.baseline)
+    fresh_doc = load(args.fresh)
 
-    line = (f"fast_path.probes_per_sec: baseline {base:,.0f} -> fresh "
-            f"{fresh:,.0f} ({ratio:.1%} of baseline)")
-    if drop > args.threshold:
-        # GitHub Actions annotation syntax; plain stderr elsewhere.
-        print(f"::warning title=hot-path bench regression::{line} — "
-              f"dropped more than {args.threshold:.0%}. Machine variance is "
-              f"expected; investigate only if this repeats across runs.")
-        print(f"WARN {line}", file=sys.stderr)
-    else:
-        print(f"ok   {line}")
+    warned = False
+    for path, higher_better, required in METRICS:
+        base = lookup(base_doc, path, args.baseline, required)
+        fresh = lookup(fresh_doc, path, args.fresh, required)
+        if base is None or fresh is None:
+            missing = args.baseline if base is None else args.fresh
+            print(f"skip {path}: not in {missing} (section predates it)")
+            continue
+        ratio = fresh / base
+        # Normalize so >1 always means "got worse" regardless of direction.
+        worse = (base / fresh) if higher_better else ratio
+        line = (f"{path}: baseline {base:,.2f} -> fresh {fresh:,.2f} "
+                f"({ratio:.1%} of baseline, "
+                f"{'higher' if higher_better else 'lower'} is better)")
+        if worse > 1.0 + args.threshold:
+            warned = True
+            # GitHub Actions annotation syntax; plain stderr elsewhere.
+            print(f"::warning title=hot-path bench regression::{line} — "
+                  f"moved the wrong way by more than {args.threshold:.0%}. "
+                  f"Machine variance is expected; investigate only if this "
+                  f"repeats across runs.")
+            print(f"WARN {line}", file=sys.stderr)
+        else:
+            print(f"ok   {line}")
+    if not warned:
+        print("check_bench_regression: no metric crossed the threshold")
     return 0
 
 

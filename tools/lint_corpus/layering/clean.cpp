@@ -1,0 +1,25 @@
+// lint_layering self-test corpus — the negative control: every edge here
+// is legal (own layer, declared lower layers, same-directory include,
+// system headers), plus one deliberate violation excused through the
+// justification-carrying escape hatch. Must produce zero findings.
+// lint-pretend: src/prober/fake_source.cpp
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fake_source_detail.hpp"      // same directory: same layer
+#include "prober/yarrp6.hpp"           // own layer
+#include "campaign/probe_source.hpp"   // declared edge: prober -> campaign
+#include "topology/collector.hpp"      // declared edge: prober -> topology
+#include "simnet/network.hpp"          // declared edge: prober -> simnet
+#include "netbase/rng.hpp"             // everything may use netbase
+// beholder6: lint-allow(layering): corpus exercise of the escape hatch —
+// a justified exception must suppress the finding on the next line
+#include "analysis/mra.hpp"
+
+namespace beholder6::prober {
+
+void fake_source() {}
+
+}  // namespace beholder6::prober

@@ -1,0 +1,14 @@
+// lint_layering self-test corpus — the engine reaching into a concrete
+// probe order. campaign/ must stay reusable under any ProbeSource; the
+// first include of prober/ hard-wires one order into the engine and breaks
+// the plug-in seam. Must be flagged.
+// lint-pretend: src/campaign/fake_scheduler.cpp
+
+#include "campaign/runner.hpp"
+#include "prober/yarrp6.hpp"  // lint-expect(layering)
+
+namespace beholder6::campaign {
+
+void fake_scheduler() {}
+
+}  // namespace beholder6::campaign

@@ -1,0 +1,14 @@
+// lint_layering self-test corpus — undeclared sibling edge between leaf
+// layers. alias/ and analysis/ both sit on top of the simulation stack but
+// declare no edge between each other; coupling them entangles two
+// independently evolvable leaves. Must be flagged.
+// lint-pretend: src/alias/fake_resolver.cpp
+
+#include "alias/speedtrap.hpp"
+#include "analysis/mra.hpp"  // lint-expect(layering)
+
+namespace beholder6::alias {
+
+void fake_resolver() {}
+
+}  // namespace beholder6::alias

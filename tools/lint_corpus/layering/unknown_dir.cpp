@@ -1,0 +1,15 @@
+// lint_layering self-test corpus — quoted include of a directory that is
+// not a src/ layer at all: a typo, or a reach outside the library (tests/,
+// bench/, tools/ must never be included from src/). Must be flagged as
+// unknown-layer.
+// lint-pretend: src/analysis/fake_report.cpp
+
+#include "topology/collector.hpp"
+#include "bench/common.hpp"     // lint-expect(unknown-layer)
+#include "anaylsis/mra.hpp"     // lint-expect(unknown-layer)
+
+namespace beholder6::analysis {
+
+void fake_report() {}
+
+}  // namespace beholder6::analysis

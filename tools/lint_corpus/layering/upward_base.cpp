@@ -1,0 +1,15 @@
+// lint_layering self-test corpus — escape from the base layer. netbase/
+// holds pure value types and primitives and may include nothing in src/;
+// any quoted cross-directory include from it is an upward edge by
+// definition. Must be flagged.
+// lint-pretend: src/netbase/fake_addr_util.cpp
+
+#include <cstdint>
+
+#include "wire/headers.hpp"  // lint-expect(layering)
+
+namespace beholder6::netbase {
+
+void fake_addr_util() {}
+
+}  // namespace beholder6::netbase

@@ -1,0 +1,17 @@
+// lint_layering self-test corpus — upward edge from the simulation layer
+// into the engine layer. simnet/ is the substrate campaigns run *on*; the
+// moment it includes campaign/ the substrate can observe the engine and
+// the layering inverts. Must be flagged.
+// lint-pretend: src/simnet/fake_network_ext.cpp
+
+#include <cstdint>
+#include <vector>
+
+#include "simnet/network.hpp"
+#include "campaign/runner.hpp"  // lint-expect(layering)
+
+namespace beholder6::simnet {
+
+void fake_network_ext() {}
+
+}  // namespace beholder6::simnet

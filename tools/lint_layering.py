@@ -1,0 +1,318 @@
+#!/usr/bin/env python3
+"""Layering linter for beholder6: the ARCHITECTURE.md dependency DAG,
+machine-checked over the `#include` graph of src/.
+
+docs/ARCHITECTURE.md promises that each layer of src/ depends only on the
+layers below it. That promise used to be prose; this linter makes it a
+build gate, the same way tools/lint_determinism.py turned the determinism
+hazard classes into one. The checked artifact is the quoted-include graph:
+every `#include "dir/file.hpp"` in src/<layer>/ must name a layer the
+dependency matrix allows (or the file's own layer). System includes
+(`<...>`) are never layering edges and are ignored.
+
+The dependency matrix (the machine-checked DAG)
+-----------------------------------------------
+Edges read "layer -> may include". This is the single source of truth;
+docs/ARCHITECTURE.md renders the same matrix and names this linter as its
+enforcement.
+
+    netbase  -> (nothing in src/)
+    wire     -> netbase
+    simnet   -> netbase, wire
+    topology -> netbase, wire
+    target   -> netbase, wire, simnet
+    seeds    -> netbase, wire, simnet, target
+    campaign -> netbase, wire, simnet
+    alias    -> netbase, wire, simnet
+    prober   -> netbase, wire, simnet, campaign, topology
+    analysis -> netbase, wire, simnet, topology
+    io       -> netbase, wire
+
+Rationale anchors: `campaign` is the engine layer and must stay reusable
+under any probe order, so it may never include `prober` (sources plug in
+via the ProbeSource interface); `topology` is reply-stream reassembly and
+sits below `prober`/`analysis` which consume its TraceCollector; `alias`,
+`analysis` and `io` are leaves over the simulation stack. Everything may
+use `netbase`.
+
+Rules (finding classes)
+-----------------------
+layering
+    A quoted include whose target layer is not in the including layer's
+    allowed set. This covers both upward edges (e.g. simnet including
+    campaign/) and undeclared sibling edges (e.g. alias including
+    analysis/). The fix is to move the shared code down a layer, invert
+    the dependency through an interface the lower layer owns, or — if the
+    edge is genuinely intended — widen the matrix here *and* in
+    docs/ARCHITECTURE.md in the same commit.
+
+unknown-layer
+    A quoted include whose first path component is not a known src/ layer
+    (and not a sibling file in the same directory). Either a typo, a file
+    outside src/ (tests/bench/tools must not be included from the
+    library), or a new layer that must be added to the matrix + docs.
+
+Escape hatch
+------------
+A finding on line L is suppressed when line L, or the contiguous `//`
+comment block directly above it, carries
+`// beholder6: lint-allow(layering): <why this edge is sound>`
+(rule name `unknown-layer` for that rule). Allows are per-line and must
+carry a justification; they are the grep-able record of every deliberate
+exception.
+
+Self-test
+---------
+`--self-test` lints the seeded corpus in tools/lint_corpus/layering/.
+Corpus files declare their pretend location with
+`// lint-pretend: src/<layer>/<name>.cpp` and mark each line that must be
+flagged with `// lint-expect(<rule>)`; the clean file must produce zero
+findings. CI runs the self-test before trusting a clean tree.
+
+Exit codes: 0 clean (or self-test pass), 1 findings (or self-test fail),
+2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_SCOPE = REPO_ROOT / "src"
+CORPUS_DIR = REPO_ROOT / "tools" / "lint_corpus" / "layering"
+
+# layer -> layers it may include (own layer is always allowed).
+ALLOWED: dict[str, frozenset[str]] = {
+    "netbase": frozenset(),
+    "wire": frozenset({"netbase"}),
+    "simnet": frozenset({"netbase", "wire"}),
+    "topology": frozenset({"netbase", "wire"}),
+    "target": frozenset({"netbase", "wire", "simnet"}),
+    "seeds": frozenset({"netbase", "wire", "simnet", "target"}),
+    "campaign": frozenset({"netbase", "wire", "simnet"}),
+    "alias": frozenset({"netbase", "wire", "simnet"}),
+    "prober": frozenset({"netbase", "wire", "simnet", "campaign", "topology"}),
+    "analysis": frozenset({"netbase", "wire", "simnet", "topology"}),
+    "io": frozenset({"netbase", "wire"}),
+}
+
+RULES = {
+    "layering": "include edge not in the ARCHITECTURE.md dependency matrix",
+    "unknown-layer": "quoted include of a path outside the known src/ layers",
+}
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+ALLOW_RE = re.compile(r"beholder6:\s*lint-allow\(([a-z-]+)\)")
+EXPECT_RE = re.compile(r"lint-expect\(([a-z-]+)\)")
+PRETEND_RE = re.compile(r"lint-pretend:\s*(\S+)")
+
+
+class Finding:
+    def __init__(self, path: Path, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        try:
+            rel = self.path.relative_to(REPO_ROOT)
+        except ValueError:
+            rel = self.path
+        return f"{rel}:{self.line}: [{self.rule}] {self.message}"
+
+
+def layer_of(rel_to_src: Path) -> str | None:
+    """First path component under src/, or None for loose files."""
+    parts = rel_to_src.parts
+    return parts[0] if len(parts) > 1 else None
+
+
+def lint_file(path: Path, src_rel: Path) -> list[Finding]:
+    """Lint one file whose path relative to src/ is `src_rel` (the pretend
+    path in corpus mode — layer assignment and self-include detection both
+    read it, not the on-disk location)."""
+    layer = layer_of(src_rel)
+    if layer is None or layer not in ALLOWED:
+        # A loose file directly under src/ (none exist today) or an unknown
+        # layer directory: nothing to check against; the CMake glob and the
+        # matrix above must grow together.
+        return []
+    allowed = ALLOWED[layer] | {layer}
+    lines = path.read_text(encoding="utf-8", errors="replace").splitlines()
+    findings: list[Finding] = []
+    for i, raw in enumerate(lines, 1):
+        m = INCLUDE_RE.match(raw)
+        if not m:
+            continue
+        target = m.group(1)
+        first = target.split("/", 1)[0]
+        if "/" not in target:
+            # `#include "name.hpp"` resolves next to the including file:
+            # same layer by construction.
+            continue
+        if first not in ALLOWED:
+            findings.append(Finding(
+                path, i, "unknown-layer",
+                f'"{target}": "{first}/" is not a src/ layer — typo, a file '
+                f"outside src/, or a new layer missing from the matrix in "
+                f"tools/lint_layering.py + docs/ARCHITECTURE.md"))
+        elif first not in allowed:
+            kind = "upward or undeclared"
+            findings.append(Finding(
+                path, i, "layering",
+                f'"{target}": {layer}/ may not include {first}/ ({kind} '
+                f"edge; allowed: "
+                f"{', '.join(sorted(allowed - {layer})) or 'nothing'})"))
+
+    def allowed_by_annotation(f: Finding) -> bool:
+        def has_allow(ln: int) -> bool:
+            return any(am.group(1) == f.rule
+                       for am in ALLOW_RE.finditer(lines[ln - 1]))
+
+        if 1 <= f.line <= len(lines) and has_allow(f.line):
+            return True
+        ln = f.line - 1
+        while ln >= 1 and lines[ln - 1].strip().startswith("//"):
+            if has_allow(ln):
+                return True
+            ln -= 1
+        return False
+
+    return [f for f in findings if not allowed_by_annotation(f)]
+
+
+def iter_sources(paths: list[Path]):
+    for p in paths:
+        if p.is_dir():
+            yield from sorted(
+                q for q in p.rglob("*") if q.suffix in (".cpp", ".hpp", ".h"))
+        elif p.exists():
+            yield p
+        else:
+            raise FileNotFoundError(p)
+
+
+def src_relative(path: Path) -> Path | None:
+    try:
+        return path.resolve().relative_to(DEFAULT_SCOPE)
+    except ValueError:
+        return None
+
+
+def run_self_test() -> int:
+    if not CORPUS_DIR.is_dir():
+        print(f"self-test: corpus directory missing: {CORPUS_DIR}",
+              file=sys.stderr)
+        return 1
+    files = sorted(CORPUS_DIR.glob("*.cpp"))
+    if not files:
+        print("self-test: corpus is empty", file=sys.stderr)
+        return 1
+    failures = 0
+    for path in files:
+        text_lines = path.read_text().splitlines()
+        pretend = None
+        expected: set[tuple[int, str]] = set()
+        for i, line in enumerate(text_lines, 1):
+            pm = PRETEND_RE.search(line)
+            if pm:
+                pretend = Path(pm.group(1))
+            for m in EXPECT_RE.finditer(line):
+                expected.add((i, m.group(1)))
+        if pretend is None:
+            print(f"self-test: {path.name}: missing "
+                  f"'// lint-pretend: src/<layer>/<file>' header")
+            failures += 1
+            continue
+        try:
+            src_rel = pretend.relative_to("src")
+        except ValueError:
+            print(f"self-test: {path.name}: pretend path {pretend} is not "
+                  f"under src/")
+            failures += 1
+            continue
+        got = {(f.line, f.rule) for f in lint_file(path, src_rel)}
+        missed = expected - got
+        spurious = got - expected
+        status = "ok" if not missed and not spurious else "FAIL"
+        print(f"self-test: {path.name}: {len(got)} finding(s) [{status}]")
+        for line_no, rule in sorted(missed):
+            print(f"  MISSED   {path.name}:{line_no} expected [{rule}]")
+            failures += 1
+        for line_no, rule in sorted(spurious):
+            print(f"  SPURIOUS {path.name}:{line_no} flagged [{rule}]")
+            failures += 1
+        if path.name.startswith("clean") and got:
+            print(f"  FAIL     {path.name} must lint clean")
+            failures += 1
+        if not path.name.startswith("clean") and not got:
+            print(f"  FAIL     {path.name} must produce findings")
+            failures += 1
+    if failures:
+        print(f"self-test: {failures} mismatch(es)", file=sys.stderr)
+        return 1
+    print(f"self-test: {len(files)} corpus file(s) verified")
+    return 0
+
+
+def print_dag() -> None:
+    print("layer dependency matrix (layer -> may include):")
+    for layer, deps in ALLOWED.items():
+        print(f"  {layer:<9}-> {', '.join(sorted(deps)) or '(nothing)'}")
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(
+        description="beholder6 layering linter (see module docstring)")
+    ap.add_argument("paths", nargs="*", type=Path,
+                    help="files or directories to lint (default: src/)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="verify the linter against tools/lint_corpus/layering/")
+    ap.add_argument("--print-dag", action="store_true",
+                    help="print the enforced dependency matrix and exit")
+    ap.add_argument("--list-rules", action="store_true")
+    args = ap.parse_args(argv)
+
+    if args.list_rules:
+        for rule, desc in RULES.items():
+            print(f"{rule}: {desc}")
+        return 0
+    if args.print_dag:
+        print_dag()
+        return 0
+    if args.self_test:
+        return run_self_test()
+
+    paths = args.paths or [DEFAULT_SCOPE]
+    findings: list[Finding] = []
+    n_files = 0
+    try:
+        for src in iter_sources(paths):
+            rel = src_relative(src)
+            if rel is None:
+                print(f"note: {src} is outside src/ — skipped (the layer "
+                      f"matrix only covers the library)", file=sys.stderr)
+                continue
+            n_files += 1
+            findings.extend(lint_file(src, rel))
+    except FileNotFoundError as e:
+        print(f"no such path: {e}", file=sys.stderr)
+        return 2
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"\n{len(findings)} layering violation(s) in {n_files} "
+              f"file(s). Move the code down, invert the dependency, widen "
+              f"the matrix (with docs), or annotate with "
+              f"'// beholder6: lint-allow(layering): <reason>'.")
+        return 1
+    print(f"layering lint: {n_files} file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

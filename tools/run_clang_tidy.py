@@ -13,8 +13,10 @@ invoke the exact same thing:
   `make`-equivalent red. CI installs the tool, so there the pass is real.
 - Needs a configure with CMAKE_EXPORT_COMPILE_COMMANDS=ON (the default
   CMakeLists.txt already sets it); points clang-tidy at that database.
-- Runs over every .cpp under src/ by default (headers are covered through
-  HeaderFilterRegex in .clang-tidy). Pass explicit paths to narrow.
+- Runs over every .cpp under src/ and tests/ plus tools/*.cpp by default
+  (src headers are covered through HeaderFilterRegex in .clang-tidy;
+  tests/ gets a narrowed profile via tests/.clang-tidy, which clang-tidy
+  picks up by nearest-ancestor lookup). Pass explicit paths to narrow.
 - Exit codes: 0 clean or tool-missing skip, 1 findings, 2 usage/setup
   errors (no compile_commands.json, bad path).
 """
@@ -81,10 +83,18 @@ def main() -> int:
                 return 2
             files.append(ap_)
     else:
+        # src/ and tests/ recursively; tools/ only at top level (its
+        # subdirectories hold lint corpora that must NOT be clean —
+        # tools/lint_corpus/README.md).
         files = sorted(
             os.path.join(root, n)
-            for root, _, names in os.walk(os.path.join(REPO, "src"))
+            for top in ("src", "tests")
+            for root, _, names in os.walk(os.path.join(REPO, top))
             for n in names if n.endswith(".cpp"))
+        files += sorted(
+            os.path.join(REPO, "tools", n)
+            for n in os.listdir(os.path.join(REPO, "tools"))
+            if n.endswith(".cpp"))
     if not files:
         print("run_clang_tidy: nothing to check")
         return 0
