@@ -13,7 +13,24 @@
 //             comparison stays honest as the fast path evolves;
 //   fast    — the current engine: route cache, pooled packet buffers,
 //             span inject, collectors only (1 worker thread);
-//   threads — the fast configuration at 1/2/8 worker threads.
+//   threads — the fast configuration at 1/2/4/8 worker threads, each point
+//             carrying its scaling_efficiency (speedup / threads) plus the
+//             parallel backend's cost telemetry (route-snapshot warmup,
+//             replica builds, worker busy spread, ring/merge stats);
+//   merge   — the streaming SPSC merge measured end-to-end: the full
+//             workload with the global reply stream collected, at 1 and 8
+//             threads, with an order-sensitive checksum over the merged
+//             stream. The two checksums must match bit-for-bit (the
+//             canonical-order contract), and the bench exits nonzero if
+//             they don't.
+//
+// Scaling gate: the flat "scaling" JSON section records the 8-thread
+// throughput and efficiency for tools/check_bench_regression.py, and the
+// bench exits nonzero if 8 threads run *slower* than 1 — but only when the
+// machine actually has ≥2 hardware threads ("machine".hardware_threads in
+// the JSON; on a 1-CPU box the sweep measures scheduling overhead only, so
+// the gate degrades to a warning). Compare thread-sweep numbers across
+// runs only on identical hardware.
 //
 // Two scheduler guards ride along: "giant_shard" (one yarrp6 walk over
 // everything, unsplit vs split_factor 8) and "doubletree_split" (one
@@ -40,6 +57,7 @@
 #include <cstdlib>
 #include <memory>
 #include <new>
+#include <thread>
 
 #include "bench/common.hpp"
 #include "campaign/parallel.hpp"
@@ -138,11 +156,70 @@ struct Measured {
   std::uint64_t probes = 0;
   double seconds = 0.0;
   simnet::NetworkStats net_stats;
+  // Parallel-backend cost telemetry (see campaign/parallel.hpp): never
+  // compared, only reported.
+  double warmup_seconds = 0.0;
+  std::uint64_t warmed_routes = 0;
+  campaign::MergePerf merge;
+  std::vector<campaign::WorkerPerf> workers;
+  // Merged-stream fingerprint (collect_replies runs only): reply count and
+  // an order-sensitive FNV-1a over every merge key + reply field, so two
+  // runs match iff their merged streams are bit-identical in order.
+  std::uint64_t replies = 0;
+  std::uint64_t reply_checksum = 0;
 
   [[nodiscard]] double pps() const {
     return seconds > 0 ? static_cast<double>(probes) / seconds : 0.0;
   }
+  [[nodiscard]] double busy_max() const {
+    double b = 0.0;
+    for (const auto& w : workers) b = std::max(b, w.busy_seconds);
+    return b;
+  }
+  [[nodiscard]] std::uint64_t ring_stalls() const {
+    std::uint64_t s = 0;
+    for (const auto& w : workers) s += w.ring_stalls;
+    return s;
+  }
+  [[nodiscard]] std::uint64_t ring_high_water() const {
+    std::uint64_t hw = 0;
+    for (const auto& w : workers) hw = std::max(hw, w.ring_high_water);
+    return hw;
+  }
 };
+
+std::uint64_t checksum_replies(const std::vector<campaign::ShardReply>& rs) {
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xff;
+      h *= 1099511628211ULL;
+    }
+  };
+  for (const auto& r : rs) {
+    mix(r.virtual_us);
+    mix((std::uint64_t{r.shard} << 32) | r.subshard);
+    mix(r.reply.responder.hi());
+    mix(r.reply.responder.lo());
+    mix((static_cast<std::uint64_t>(r.reply.type) << 8) | r.reply.code);
+    mix(r.reply.rtt_us);
+    mix(r.reply.probe.target.hi());
+    mix(r.reply.probe.target.lo());
+    mix(r.reply.probe.ttl);
+  }
+  return h;
+}
+
+void fill_telemetry(Measured& m, const campaign::ParallelResult& result) {
+  m.probes = result.net_stats.probes;
+  m.net_stats = result.net_stats;
+  m.warmup_seconds = result.warmup_seconds;
+  m.warmed_routes = result.warmed_routes;
+  m.merge = result.merge_perf;
+  m.workers = result.worker_perf;
+  m.replies = result.replies.size();
+  if (!result.replies.empty()) m.reply_checksum = checksum_replies(result.replies);
+}
 
 /// Run the Table 7 probing phase and time it.
 Measured run_pipeline(const bench::World& world,
@@ -160,8 +237,7 @@ Measured run_pipeline(const bench::World& world,
   const auto t0 = Clock::now();
   const auto result = runner.run(shards, {.collect_replies = collect_replies});
   m.seconds = secs_since(t0);
-  m.probes = result.net_stats.probes;
-  m.net_stats = result.net_stats;
+  fill_telemetry(m, result);
   return m;
 }
 
@@ -216,6 +292,7 @@ int main(int argc, char** argv) {
   const char* out_path = argc > 2 ? argv[2] : "BENCH_hotpath.json";
 
   bench::World world{scale};
+  const unsigned hw_threads = std::max(1u, std::thread::hardware_concurrency());
   const auto sets = world.all_sets(/*include_random=*/false);
   std::uint64_t n_targets = 0;
   for (const auto& ns : sets) n_targets += ns.set.addrs.size();
@@ -246,13 +323,35 @@ int main(int argc, char** argv) {
   };
   std::vector<SweepPoint> sweep;
   sweep.push_back({1, fast});
-  for (const unsigned threads : {2u, 8u}) {
+  for (const unsigned threads : {2u, 4u, 8u}) {
     sweep.push_back(
         {threads, run_pipeline(world, sets, simnet::NetworkParams{}, threads,
                                /*collect=*/false)});
-    std::fprintf(stderr, "threads %u: %.0f probes/sec\n", threads,
-                 sweep.back().m.pps());
+    std::fprintf(stderr, "threads %u: %.0f probes/sec (efficiency %.2f)\n",
+                 threads, sweep.back().m.pps(),
+                 sweep.back().m.pps() / fast.pps() / threads);
   }
+
+  // Streamed-merge gate: the full workload with the global reply stream
+  // collected, at 1 and 8 threads. The merged streams must be
+  // bit-identical in canonical order — the SPSC rings and the frontier
+  // gating may change only the wall-clock.
+  const auto merged_1t =
+      run_pipeline(world, sets, simnet::NetworkParams{}, 1, /*collect=*/true);
+  const auto merged_8t =
+      run_pipeline(world, sets, simnet::NetworkParams{}, 8, /*collect=*/true);
+  const bool merge_deterministic =
+      merged_1t.replies == merged_8t.replies &&
+      merged_1t.reply_checksum == merged_8t.reply_checksum &&
+      merged_1t.net_stats == merged_8t.net_stats;
+  std::fprintf(stderr,
+               "streamed merge: %llu replies, checksum %016llx @1t / %016llx "
+               "@8t, drain %.3fs (tail %.3fs) @8t %s\n",
+               static_cast<unsigned long long>(merged_8t.replies),
+               static_cast<unsigned long long>(merged_1t.reply_checksum),
+               static_cast<unsigned long long>(merged_8t.reply_checksum),
+               merged_8t.merge.drain_seconds, merged_8t.merge.tail_seconds,
+               merge_deterministic ? "" : "DETERMINISM MISMATCH");
 
   // Sub-shard scheduler guard: one giant shard (every target in one yarrp6
   // walk) — the shape thread scaling cannot touch without
@@ -272,8 +371,7 @@ int main(int argc, char** argv) {
     const auto result = runner.run(
         shards, {.collect_replies = false, .split_factor = split});
     m.seconds = secs_since(t0);
-    m.probes = result.net_stats.probes;
-    m.net_stats = result.net_stats;
+    fill_telemetry(m, result);
     return m;
   };
   const auto giant_unsplit = giant(1, 1);
@@ -316,8 +414,7 @@ int main(int argc, char** argv) {
     const auto result = runner.run(
         shards, {.collect_replies = false, .split_factor = split});
     out.m.seconds = secs_since(t0);
-    out.m.probes = result.net_stats.probes;
-    out.m.net_stats = result.net_stats;
+    fill_telemetry(out.m, result);
     out.stats = result.probe_stats;
     out.slowest_unit_virtual_us = result.elapsed_virtual_us;
     return out;
@@ -362,6 +459,13 @@ int main(int argc, char** argv) {
                scale, sets.size() * world.topo.vantages().size(),
                static_cast<unsigned long long>(n_targets));
   std::fprintf(out,
+               "  \"machine\": {\"hardware_threads\": %u, \"note\": \"thread "
+               "sweep and scaling numbers are meaningful only relative to "
+               "hardware_threads; compare across runs only on identical "
+               "hardware — a 1-thread machine measures scheduling overhead, "
+               "not scaling\"},\n",
+               hw_threads);
+  std::fprintf(out,
                "  \"pre_pr_baseline\": {\"probes_per_sec\": %.0f, \"note\": "
                "\"commit 32f3281 (before route cache, packet pools, FlatMap "
                "state); identical probing phase, scale 0.6, same machine as "
@@ -385,15 +489,61 @@ int main(int argc, char** argv) {
   std::fprintf(out, "  \"speedup_vs_legacy\": %.2f,\n", fast.pps() / legacy.pps());
   std::fprintf(out, "  \"speedup_vs_pre_pr_baseline\": %.2f,\n",
                fast.pps() / kPrePrBaselineProbesPerSec);
-  std::fprintf(out, "  \"threads_sweep\": [");
+  std::fprintf(out, "  \"threads_sweep\": [\n");
   for (std::size_t i = 0; i < sweep.size(); ++i)
     std::fprintf(out,
-                 "%s{\"threads\": %u, \"probes\": %llu, \"seconds\": %.3f, "
-                 "\"probes_per_sec\": %.0f}",
+                 "    %s{\"threads\": %u, \"probes\": %llu, \"seconds\": %.3f, "
+                 "\"probes_per_sec\": %.0f, \"scaling_efficiency\": %.3f, "
+                 "\"warmup_seconds\": %.3f, \"warmed_routes\": %llu, "
+                 "\"replica_builds\": %llu, \"worker_busy_max_seconds\": %.3f}",
                  i ? ", " : "", sweep[i].threads,
                  static_cast<unsigned long long>(sweep[i].m.probes),
-                 sweep[i].m.seconds, sweep[i].m.pps());
+                 sweep[i].m.seconds, sweep[i].m.pps(),
+                 sweep[i].m.pps() / fast.pps() / sweep[i].threads,
+                 sweep[i].m.warmup_seconds,
+                 static_cast<unsigned long long>(sweep[i].m.warmed_routes),
+                 static_cast<unsigned long long>(
+                     sweep[i].m.net_stats.replica_builds),
+                 sweep[i].m.busy_max());
   std::fprintf(out, "],\n");
+  std::fprintf(out, "  \"scaling\": {\"threads_8_probes_per_sec\": %.0f, "
+               "\"speedup_8t\": %.2f, \"efficiency_8t\": %.3f, "
+               "\"hardware_threads\": %u},\n",
+               sweep.back().m.pps(), sweep.back().m.pps() / fast.pps(),
+               sweep.back().m.pps() / fast.pps() / 8.0, hw_threads);
+  std::fprintf(out,
+               "  \"streamed_merge\": {\"desc\": \"full workload with the "
+               "global reply stream collected: per-worker SPSC rings drained "
+               "by the caller into the canonical order during the run; the "
+               "1t and 8t streams must be bit-identical\", "
+               "\"replies\": %llu, \"checksum_1t\": \"%016llx\", "
+               "\"checksum_8t\": \"%016llx\", \"thread_invariant\": %s, "
+               "\"seconds_1t\": %.3f, \"seconds_8t\": %.3f, "
+               "\"merge_drain_seconds_8t\": %.3f, "
+               "\"merge_tail_seconds_8t\": %.3f, "
+               "\"ring_stalls_8t\": %llu, \"ring_high_water_max_8t\": %llu, "
+               "\"workers_8t\": [",
+               static_cast<unsigned long long>(merged_8t.replies),
+               static_cast<unsigned long long>(merged_1t.reply_checksum),
+               static_cast<unsigned long long>(merged_8t.reply_checksum),
+               merge_deterministic ? "true" : "false", merged_1t.seconds,
+               merged_8t.seconds, merged_8t.merge.drain_seconds,
+               merged_8t.merge.tail_seconds,
+               static_cast<unsigned long long>(merged_8t.ring_stalls()),
+               static_cast<unsigned long long>(merged_8t.ring_high_water()));
+  for (std::size_t w = 0; w < merged_8t.workers.size(); ++w)
+    std::fprintf(out,
+                 "%s{\"units_run\": %llu, \"busy_seconds\": %.3f, "
+                 "\"ring_pushes\": %llu, \"ring_stalls\": %llu, "
+                 "\"ring_high_water\": %llu}",
+                 w ? ", " : "",
+                 static_cast<unsigned long long>(merged_8t.workers[w].units_run),
+                 merged_8t.workers[w].busy_seconds,
+                 static_cast<unsigned long long>(merged_8t.workers[w].ring_pushes),
+                 static_cast<unsigned long long>(merged_8t.workers[w].ring_stalls),
+                 static_cast<unsigned long long>(
+                     merged_8t.workers[w].ring_high_water));
+  std::fprintf(out, "]},\n");
   std::fprintf(out,
                "  \"giant_shard\": {\"desc\": \"one yarrp6 campaign over all "
                "targets; split_factor over-decomposes the walk so threads can "
@@ -401,11 +551,19 @@ int main(int argc, char** argv) {
                "\"unsplit_1thread_seconds\": %.3f, \"split8_1thread_seconds\": "
                "%.3f, \"split8_8threads_seconds\": %.3f, "
                "\"split8_speedup_vs_unsplit\": %.2f, "
-               "\"split_thread_invariant\": %s},\n",
+               "\"split_thread_invariant\": %s, "
+               "\"warmup_seconds_8t\": %.3f, \"warmed_routes_8t\": %llu, "
+               "\"replica_builds_8t\": %llu, "
+               "\"worker_busy_max_seconds_8t\": %.3f},\n",
                all_targets.size(), giant_unsplit.seconds, giant_split_1t.seconds,
                giant_split_8t.seconds,
                giant_unsplit.seconds / giant_split_8t.seconds,
-               giant_deterministic ? "true" : "false");
+               giant_deterministic ? "true" : "false",
+               giant_split_8t.warmup_seconds,
+               static_cast<unsigned long long>(giant_split_8t.warmed_routes),
+               static_cast<unsigned long long>(
+                   giant_split_8t.net_stats.replica_builds),
+               giant_split_8t.busy_max());
   std::fprintf(out,
                "  \"doubletree_split\": {\"desc\": \"one Doubletree campaign "
                "over all targets as an epoch-snapshotted split family "
@@ -450,6 +608,12 @@ int main(int argc, char** argv) {
                  "thread-count invariant)\n");
     return 1;
   }
+  if (!merge_deterministic) {
+    std::fprintf(stderr,
+                 "FAIL: streamed merge produced different reply streams at 1 "
+                 "and 8 threads (the canonical-order contract is broken)\n");
+    return 1;
+  }
   if (alloc_check.allocations != 0) {
     std::fprintf(stderr,
                  "FAIL: steady-state inject path allocated %llu times over %llu "
@@ -457,6 +621,24 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(alloc_check.allocations),
                  static_cast<unsigned long long>(alloc_check.probes));
     return 1;
+  }
+  // Scaling red gate: on real multi-core hardware, 8 worker threads must
+  // never be slower than 1 — negative scaling was the bug this backend's
+  // shared-snapshot/arena/ring architecture exists to fix. On a 1-thread
+  // machine the sweep cannot measure scaling at all, so warn instead.
+  if (sweep.back().m.pps() < fast.pps()) {
+    if (hw_threads >= 2) {
+      std::fprintf(stderr,
+                   "FAIL: 8 worker threads slower than 1 (%.0f vs %.0f "
+                   "probes/sec) on a %u-thread machine\n",
+                   sweep.back().m.pps(), fast.pps(), hw_threads);
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "WARN: 8 worker threads slower than 1 (%.0f vs %.0f "
+                 "probes/sec), but this machine has a single hardware "
+                 "thread — scaling not enforceable here\n",
+                 sweep.back().m.pps(), fast.pps());
   }
   return 0;
 }

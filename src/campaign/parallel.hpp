@@ -32,6 +32,17 @@
 // progress, and a pool of one drives it round-robin. Free-running units
 // and unsplit shards are scheduled exactly as before.
 //
+// Scaling architecture (see docs/ARCHITECTURE.md "The parallel backend"):
+// replicas share an immutable tier — the Topology, one shared_ptr'd
+// NetworkParams block, and a read-only route snapshot warmed once by the
+// caller before any worker starts (ParallelRunOptions::share_route_snapshot)
+// — while each *worker* owns one cache-line-padded arena holding its
+// mutable Network replica, constructed once and reset() between the work
+// units it steals. Recorded replies stream out through one bounded
+// lock-free SPSC ring per worker (netbase/spsc_ring.hpp), drained by the
+// run() caller, which emits the canonical-order merged stream *during*
+// the run instead of sorting after the workers join.
+//
 // Determinism contract: the shard list *and split_factor* fix the work;
 // the thread count fixes only the wall-clock. Every work unit's run is a
 // pure function of (subshard source, endpoint, pacing, topology seed,
@@ -53,6 +64,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "campaign/runner.hpp"
@@ -71,9 +83,11 @@ namespace beholder6::campaign {
 ///     the shard's worker thread, per reply, exactly as before;
 ///   * split: the shard's subshards run concurrently, so live delivery
 ///     would race — the sink instead runs on the thread that called run(),
-///     after all workers join, over the shard's replies merged in canonical
-///     (virtual time, subshard, arrival) order. Same replies, deterministic
-///     order, at any thread count.
+///     which drains the workers' reply rings *during* the run and delivers
+///     the shard's replies in canonical (virtual time, subshard, arrival)
+///     order as the merge frontier passes them. Same replies,
+///     deterministic order, at any thread count; delivery just starts
+///     while workers are still probing instead of after they join.
 struct Shard {
   ProbeSource* source = nullptr;  ///< order generator; must outlive run()
   Endpoint endpoint;              ///< wire identity probes leave with
@@ -87,6 +101,30 @@ struct ShardReply {
   std::uint32_t shard = 0;       ///< parent shard: first tie-break
   std::uint32_t subshard = 0;    ///< subshard within it: second tie-break
   wire::DecodedReply reply;      ///< the decoded reply itself
+};
+
+/// Wall-clock telemetry for one worker thread of a parallel run. Pure
+/// cost reporting (never part of any determinism comparison): benches emit
+/// it so scaling regressions are visible, and the cache-line alignment
+/// keeps the live counters of adjacent workers off each other's lines.
+struct alignas(64) WorkerPerf {
+  std::uint64_t units_run = 0;      ///< work-unit claims this worker ran
+  double busy_seconds = 0.0;        ///< wall time inside unit runs
+  std::uint64_t ring_pushes = 0;    ///< replies pushed into the reply ring
+  std::uint64_t ring_stalls = 0;    ///< full-ring backpressure yields
+  std::uint64_t ring_high_water = 0;  ///< deepest ring fill observed
+};
+
+/// Wall-clock telemetry for the streaming merge (the run() caller thread).
+struct MergePerf {
+  /// Wall time the caller spent draining rings and emitting the canonical
+  /// stream, from first worker spawn to final flush. Overlaps the
+  /// workers' probing almost entirely — the post-join tail is what the
+  /// old post-hoc sort used to serialize.
+  double drain_seconds = 0.0;
+  /// Of which: after the last worker exited (the non-overlapped tail).
+  double tail_seconds = 0.0;
+  std::uint64_t replies_merged = 0;
 };
 
 /// The deterministically merged outcome of a sharded campaign. Everything
@@ -110,6 +148,17 @@ struct ParallelResult {
   /// wall-clock analogue when units really run concurrently. Splitting a
   /// giant shard shrinks exactly this number.
   std::uint64_t elapsed_virtual_us = 0;
+  /// Per-worker wall-clock telemetry, indexed by worker (pool size
+  /// entries; a run that stayed inline on the caller reports one entry).
+  /// Cost reporting only — never compared by the determinism gates.
+  std::vector<WorkerPerf> worker_perf;
+  /// Streaming-merge telemetry (zeros when nothing was recorded).
+  MergePerf merge_perf;
+  /// Wall time spent warming the shared route snapshot before workers
+  /// started, and how many routes it holds (0/0 when sharing was off or
+  /// no source reported warm targets).
+  double warmup_seconds = 0.0;
+  std::uint64_t warmed_routes = 0;
 };
 
 /// Knobs for one ParallelCampaignRunner::run invocation.
@@ -130,6 +179,16 @@ struct ParallelRunOptions {
   /// (deterministic) respecification. 1 — and any source that reports
   /// unsplittable — keeps the classic one-unit-per-shard behavior.
   std::uint64_t split_factor = 1;
+  /// Warm a read-only route snapshot once, before any worker starts, from
+  /// the shards' ProbeSource::route_warm_targets(), and share it across
+  /// every replica (simnet::Network::set_shared_routes). Replicas then
+  /// start with every route hot instead of each re-resolving the same
+  /// paths into cold private caches. Purely a performance knob: the
+  /// snapshot holds exactly what Topology::path would return, so results
+  /// are bit-identical with it on or off (a test asserts this). Off skips
+  /// the warmup pass entirely — useful when sources cannot cheaply name
+  /// their targets or a campaign is too small to amortize it.
+  bool share_route_snapshot = true;
 };
 
 /// Scales campaigns across OS threads: expands shards into deterministic
@@ -147,14 +206,19 @@ class ParallelCampaignRunner {
   explicit ParallelCampaignRunner(const simnet::Topology& topo,
                                   simnet::NetworkParams params = {},
                                   unsigned n_threads = 0)
-      : topo_(topo), params_(params), n_threads_(n_threads) {}
+      : topo_(topo),
+        params_(std::make_shared<const simnet::NetworkParams>(
+            std::move(params))),
+        n_threads_(n_threads) {}
 
   /// Convenience: shard over replicas of an existing network's topology
-  /// and parameters (the network's dynamic state is not inherited).
+  /// and parameters (the network's dynamic state is not inherited; the
+  /// immutable parameter block is shared, not copied).
   explicit ParallelCampaignRunner(const simnet::Network& prototype,
                                   unsigned n_threads = 0)
-      : ParallelCampaignRunner(prototype.topology(), prototype.params(),
-                               n_threads) {}
+      : topo_(prototype.topology()),
+        params_(prototype.params_ptr()),
+        n_threads_(n_threads) {}
 
   /// Expand shards into (parent, subshard) work units per
   /// options.split_factor, drive every unit to exhaustion across the worker
@@ -169,7 +233,10 @@ class ParallelCampaignRunner {
 
  private:
   const simnet::Topology& topo_;
-  simnet::NetworkParams params_;
+  /// Shared immutable parameter block: every replica the run constructs
+  /// points at this one object (no per-replica copy — NetworkParams
+  /// carries a silent-router set, so copies are real cost at scale).
+  std::shared_ptr<const simnet::NetworkParams> params_;
   unsigned n_threads_;
 };
 

@@ -21,6 +21,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "netbase/ipv6.hpp"
@@ -173,6 +174,18 @@ class ProbeSource {
   /// feedback may simply return their most likely candidate.
   [[nodiscard]] virtual std::optional<Ipv6Addr> next_target_hint() const {
     return std::nullopt;
+  }
+
+  /// The whole-campaign analogue of next_target_hint: every target this
+  /// source may ever probe, if cheaply known up front. The parallel backend
+  /// uses it to warm a shared read-only route snapshot once, before any
+  /// worker runs, so replicas start with every route hot. Purely a
+  /// performance seam with the same contract as the hint — an empty span
+  /// (the default, meaning "not cheaply known"), a partial answer, or
+  /// extra addresses never change any result, only how much of the
+  /// campaign runs out of the snapshot. Valid for the source's lifetime.
+  [[nodiscard]] virtual std::span<const Ipv6Addr> route_warm_targets() const {
+    return {};
   }
 
   /// Deterministic over-decomposition: pre-partition this source's work

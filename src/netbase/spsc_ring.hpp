@@ -1,0 +1,103 @@
+// netbase/spsc_ring.hpp — a bounded lock-free single-producer /
+// single-consumer ring, the reply conduit of the parallel campaign
+// backend's streaming merge.
+//
+// This is the classic Lamport queue with the two standard latency fixes:
+//
+//   * head and tail live on their own cache lines (alignas below), so the
+//     producer's stores never invalidate the consumer's line and vice
+//     versa — the only shared traffic is the unavoidable index exchange;
+//   * each side keeps a *cached* copy of the other side's index and
+//     refreshes it only when the ring looks full (producer) or empty
+//     (consumer). In steady state a push or pop is one relaxed load, one
+//     slot copy and one release store — no contended atomics at all.
+//
+// Memory ordering: the producer publishes a slot with a release store of
+// tail_; the consumer acquires it before reading the slot, and returns the
+// slot to the producer with a release store of head_ which the producer
+// acquires before overwriting. That pairing is the entire synchronization
+// story — ThreadSanitizer sees the release/acquire edges and stays quiet.
+//
+// The ring never allocates after construction and never blocks: try_push
+// on a full ring and try_pop on an empty one simply return false, and the
+// caller decides the backpressure policy (the campaign merger drains
+// continuously, so a blocked producer only ever spins briefly).
+//
+// Capacity is rounded up to a power of two so the index math is a mask,
+// and the indices are free-running 64-bit counters (no wrap handling: at
+// one push per nanosecond they wrap after ~584 years).
+//
+// Strictly single-producer / single-consumer: exactly one thread may call
+// try_push / high_water, and exactly one (other) thread try_pop. Nothing
+// detects a violation — it is a contract, enforced by the owning code
+// (the parallel backend gives each worker its own ring).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace beholder6::netbase {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// A ring holding at least `min_capacity` items (rounded up to a power
+  /// of two, minimum 2). Allocates once, here; never again.
+  explicit SpscRing(std::size_t min_capacity) {
+    std::size_t cap = 2;
+    while (cap < min_capacity) cap *= 2;
+    buf_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return buf_.size(); }
+
+  /// Producer side. False when the ring is full (the item is untouched);
+  /// the producer decides whether to spin, yield, or drop.
+  [[nodiscard]] bool try_push(const T& item) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ > mask_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ > mask_) return false;
+    }
+    buf_[tail & mask_] = item;
+    tail_.store(tail + 1, std::memory_order_release);
+    const std::uint64_t fill = tail + 1 - head_cache_;
+    if (fill > high_water_) high_water_ = fill;
+    return true;
+  }
+
+  /// Consumer side. False when the ring is empty (out is untouched).
+  [[nodiscard]] bool try_pop(T& out) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) return false;
+    }
+    out = buf_[head & mask_];
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Deepest fill level the producer has observed (a lower bound on the
+  /// true maximum: the producer's view of head lags). Producer-side only —
+  /// read it after the producer is done, or from the producer thread.
+  [[nodiscard]] std::uint64_t high_water() const { return high_water_; }
+
+ private:
+  std::vector<T> buf_;
+  std::size_t mask_ = 0;
+
+  // Producer-owned line: tail plus its cached view of head.
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+  std::uint64_t head_cache_ = 0;
+  std::uint64_t high_water_ = 0;
+
+  // Consumer-owned line: head plus its cached view of tail.
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  std::uint64_t tail_cache_ = 0;
+};
+
+}  // namespace beholder6::netbase

@@ -166,6 +166,11 @@ class DoubletreeSource final : public campaign::ProbeSource {
   void on_probe_done(const campaign::Probe& probe, bool answered,
                      std::uint64_t now_us) override;
   void finish(campaign::ProbeStats& stats) const override;
+  /// Forward and backward probes alike target the configured list, so it
+  /// is the exact warmup set (stop-set pruning only shrinks what is hit).
+  [[nodiscard]] std::span<const Ipv6Addr> route_warm_targets() const override {
+    return targets_;
+  }
 
   /// Deterministic over-decomposition as an epoch-snapshotted family:
   /// child i of k traces the i-th contiguous slice of the target list

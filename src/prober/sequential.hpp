@@ -42,6 +42,10 @@ class SequentialSource final : public campaign::ProbeSource {
   void on_probe_done(const campaign::Probe& probe, bool answered,
                      std::uint64_t now_us) override;
   void finish(campaign::ProbeStats& stats) const override;
+  /// All probes target the configured list, so it is the exact warmup set.
+  [[nodiscard]] std::span<const Ipv6Addr> route_warm_targets() const override {
+    return targets_;
+  }
 
   /// Deterministic over-decomposition by target range: child i of k traces
   /// the i-th contiguous slice of the target list (balanced to within one

@@ -64,6 +64,12 @@ class Yarrp6Source final : public campaign::ProbeSource {
                      std::uint64_t now_us) override;
   void finish(campaign::ProbeStats& stats) const override;
   [[nodiscard]] std::optional<Ipv6Addr> next_target_hint() const override;
+  /// Every probe targets one of the configured addresses (fill probes
+  /// included — they re-walk a target's path), so the target list is the
+  /// exact route-warmup set.
+  [[nodiscard]] std::span<const Ipv6Addr> route_warm_targets() const override {
+    return targets_;
+  }
 
   /// Deterministic over-decomposition by stride multiplication — the same
   /// math that backs shard/shard_count: child i of k walks permuted indices

@@ -16,28 +16,28 @@ using wire::Proto;
 TokenBucket& Network::bucket_for(std::uint64_t router_id) {
   auto it = buckets_.find(router_id);
   if (it != buckets_.end()) return it->second;
-  if (params_.unlimited) {
+  if (params_->unlimited) {
     return buckets_.emplace(router_id, TokenBucket{}).first->second;
   }
   const auto hv = splitmix64(router_id ^ 0x6b7c);
   double rate, burst;
-  if (params_.aggressive_modulus && hv % params_.aggressive_modulus == 0) {
-    rate = params_.aggressive_rate;
-    burst = params_.aggressive_burst;
+  if (params_->aggressive_modulus && hv % params_->aggressive_modulus == 0) {
+    rate = params_->aggressive_rate;
+    burst = params_->aggressive_burst;
   } else {
-    rate = params_.base_rate +
-           static_cast<double>(hv % 1000) / 1000.0 * params_.rate_spread;
-    burst = params_.base_burst +
-            static_cast<double>((hv >> 10) % 1000) / 1000.0 * params_.burst_spread;
+    rate = params_->base_rate +
+           static_cast<double>(hv % 1000) / 1000.0 * params_->rate_spread;
+    burst = params_->base_burst +
+            static_cast<double>((hv >> 10) % 1000) / 1000.0 * params_->burst_spread;
   }
   return buckets_.emplace(router_id, TokenBucket{rate, burst}).first->second;
 }
 
 bool Network::router_silent(std::uint64_t router_id) const {
-  if (params_.silent_routers.contains(router_id)) return true;
-  if (params_.silent_router_frac <= 0.0) return false;
+  if (params_->silent_routers.contains(router_id)) return true;
+  if (params_->silent_router_frac <= 0.0) return false;
   return static_cast<double>(splitmix64(router_id ^ 0x517e) % 1000000) <
-         params_.silent_router_frac * 1e6;
+         params_->silent_router_frac * 1e6;
 }
 
 bool Network::consume_token(std::uint64_t router_id) {
@@ -67,10 +67,47 @@ std::uint64_t Network::flow_hash_of(const Ipv6Header& ip,
   return hsh;
 }
 
+std::optional<Network::ProbeRouteKey> Network::probe_route_key(
+    const Topology& topo, std::span<const std::uint8_t> probe) {
+  const auto ip = Ipv6Header::decode(probe);
+  if (!ip || probe.size() != Ipv6Header::kSize + ip->payload_length)
+    return std::nullopt;
+  const auto* vantage = topo.vantage_by_src(ip->src);
+  if (!vantage) return std::nullopt;
+  const auto vidx =
+      static_cast<std::uint64_t>(vantage - topo.vantages().data());
+  const auto flow_hash =
+      flow_hash_of(*ip, probe.subspan(Ipv6Header::kSize));
+  const auto variant = flow_hash % kEcmpVariantPeriod;
+  return ProbeRouteKey{
+      RouteKey{ip->dst.hi(),
+               (vidx << 16) |
+                   (static_cast<std::uint64_t>(ip->next_header) << 8) |
+                   variant},
+      static_cast<std::uint32_t>(vidx), ip->dst, ip->next_header, variant};
+}
+
 RouteCache::Resolved Network::resolve_path(const VantageInfo& vantage,
                                            const Ipv6Header& ip,
                                            std::uint64_t flow_hash) {
-  if (params_.route_cache_entries == 0) {
+  const auto vidx =
+      static_cast<std::uint64_t>(&vantage - topo_.vantages().data());
+  const RouteKey key{ip.dst.hi(),
+                     (vidx << 16) |
+                         (static_cast<std::uint64_t>(ip.next_header) << 8) |
+                         (flow_hash % kEcmpVariantPeriod)};
+  // Shared immutable tier first: a warmed snapshot hit is the cheapest
+  // resolution there is — one lock-free probe sequence over read-only
+  // memory, shared by every replica. Results are identical to resolving
+  // fresh (the snapshot is Topology::path memoized), so this short-circuit
+  // only changes cost, never replies.
+  if (shared_routes_) {
+    if (const auto hit = shared_routes_->find(key)) {
+      ++stats_.route_cache_hits;
+      return *hit;
+    }
+  }
+  if (params_->route_cache_entries == 0) {
     uncached_path_ = topo_.path(vantage, ip.dst, flow_hash, ip.next_header);
     uncached_hops_.clear();
     for (const auto& hop : uncached_path_.hops)
@@ -80,12 +117,6 @@ RouteCache::Resolved Network::resolve_path(const VantageInfo& vantage,
         RouteCache::CompactHop{}, false, uncached_path_.end,
         uncached_path_.firewall_code, uncached_path_.dest_asn};
   }
-  const auto vidx =
-      static_cast<std::uint64_t>(&vantage - topo_.vantages().data());
-  const RouteKey key{ip.dst.hi(),
-                     (vidx << 16) |
-                         (static_cast<std::uint64_t>(ip.next_header) << 8) |
-                         (flow_hash % kEcmpVariantPeriod)};
   if (const auto hit = route_cache_.find(key)) {
     ++stats_.route_cache_hits;
     return *hit;
@@ -94,7 +125,7 @@ RouteCache::Resolved Network::resolve_path(const VantageInfo& vantage,
   // Deterministic eviction: clear whole. Replies are a function of the
   // probe sequence alone either way (a cached path equals the recomputed
   // one); the capacity is sized so campaigns stay inside it.
-  if (route_cache_.size() >= params_.route_cache_entries) route_cache_.clear();
+  if (route_cache_.size() >= params_->route_cache_entries) route_cache_.clear();
   return route_cache_.insert(key,
                              topo_.path(vantage, ip.dst, flow_hash, ip.next_header));
 }
@@ -217,11 +248,11 @@ void Network::inject_impl(const Packet& probe, PacketPool& out) {
   ++stats_.probes;
   // Failure injection: lose this probe's reply with the configured
   // probability, keyed deterministically off content and time.
-  if (params_.reply_loss > 0.0) {
+  if (params_->reply_loss > 0.0) {
     std::uint64_t key = splitmix64(now_us_ ^ 0x10c355);
     for (std::size_t i = 0; i < probe.size(); i += 7) key = splitmix64(key ^ probe[i]);
     if (static_cast<double>(key % 1000000) <
-        params_.reply_loss * 1000000.0) {
+        params_->reply_loss * 1000000.0) {
       ++stats_.lost_replies;
       return;
     }
@@ -316,7 +347,7 @@ void Network::inject_impl(const Packet& probe, PacketPool& out) {
     case PathEnd::kNoRoute:
       // Routers where a route lookup fails often null-route silently.
       if (static_cast<double>(splitmix64(last_id ^ 0x9057) % 1000000) <
-          params_.noroute_silent_frac * 1e6) {
+          params_->noroute_silent_frac * 1e6) {
         ++stats_.silent_drops;
         return;
       }

@@ -30,13 +30,17 @@
 //     FlatMap/FlatSet tables instead of node-based containers.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <iterator>
+#include <memory>
+#include <optional>
 #include <span>
 #include <unordered_set>
 #include <vector>
 
+#include "netbase/dcheck.hpp"
 #include "netbase/flat_map.hpp"
 #include "simnet/packet_pool.hpp"
 #include "simnet/route_cache.hpp"
@@ -98,11 +102,19 @@ struct NetworkStats {
   std::uint64_t silent_drops = 0;      // policy drops / dead hosts / ND cache
   std::uint64_t lost_replies = 0;      // injected in-flight loss
   std::uint64_t malformed = 0;
-  // Route-cache effectiveness. These two are *performance* counters: cache
-  // on vs. off changes them (and nothing else — the determinism suite
-  // compares full stats with them zeroed).
+  // ---- Performance counters -------------------------------------------
+  // Everything below reports *cost*, not behaviour: cache on vs. off, a
+  // warmed shared snapshot vs. a cold private cache, or an arena-reused
+  // replica vs. a fresh one change these (and nothing else). They are
+  // excluded from operator== so the bit-identical determinism gates
+  // compare behaviour alone; operator+= still sums them for reporting.
   std::uint64_t route_cache_hits = 0;
   std::uint64_t route_cache_misses = 0;
+  /// Replica-style constructions paid (the shared-params constructor and
+  /// Network::replica()). An arena that reset()s between work units
+  /// reports 1 however many units it ran, so a parallel merge shows the
+  /// number of Network builds actually constructed, not work units run.
+  std::uint64_t replica_builds = 0;
 
   [[nodiscard]] std::uint64_t dest_unreach_total() const {
     std::uint64_t s = 0;
@@ -126,15 +138,41 @@ struct NetworkStats {
     malformed += o.malformed;
     route_cache_hits += o.route_cache_hits;
     route_cache_misses += o.route_cache_misses;
+    replica_builds += o.replica_builds;
     return *this;
   }
-  friend bool operator==(const NetworkStats&, const NetworkStats&) = default;
+  /// Behavioural equality: every reply-shaping counter, with the
+  /// performance counters (route_cache_hits/misses, replica_builds)
+  /// excluded — those measure how cheaply the same replies were produced,
+  /// and legitimately differ between cold-cache and warmed-shared runs.
+  friend bool operator==(const NetworkStats& a, const NetworkStats& b) {
+    return a.probes == b.probes && a.time_exceeded == b.time_exceeded &&
+           a.echo_replies == b.echo_replies &&
+           std::equal(std::begin(a.dest_unreach), std::end(a.dest_unreach),
+                      std::begin(b.dest_unreach)) &&
+           a.rate_limited == b.rate_limited &&
+           a.silent_drops == b.silent_drops &&
+           a.lost_replies == b.lost_replies && a.malformed == b.malformed;
+  }
 };
 
 class Network {
  public:
   Network(const Topology& topo, NetworkParams params = {})
-      : topo_(topo), params_(params) {}
+      : topo_(topo),
+        params_(std::make_shared<const NetworkParams>(std::move(params))) {}
+
+  /// Replica-style construction: share an existing immutable parameter
+  /// block instead of copying one (NetworkParams carries a silent-router
+  /// set, so per-replica copies are real cost at high shard counts). This
+  /// is the constructor Network::replica() and the parallel backend's
+  /// per-worker arenas use; it counts itself in
+  /// NetworkStats::replica_builds.
+  Network(const Topology& topo, std::shared_ptr<const NetworkParams> params)
+      : topo_(topo), params_(std::move(params)) {
+    B6_DCHECK(params_ != nullptr, "Network needs a parameter block");
+    ++stats_.replica_builds;
+  }
 
   /// Virtual clock, microseconds since campaign start.
   [[nodiscard]] std::uint64_t now_us() const { return now_us_; }
@@ -196,15 +234,29 @@ class Network {
     batch_.reset();
   }
 
-  [[nodiscard]] const NetworkParams& params() const { return params_; }
+  [[nodiscard]] const NetworkParams& params() const { return *params_; }
+
+  /// The shared immutable parameter block itself — what replica-style
+  /// construction shares instead of copying (see the shared-params
+  /// constructor).
+  [[nodiscard]] const std::shared_ptr<const NetworkParams>& params_ptr() const {
+    return params_;
+  }
 
   /// A fresh Network over the same topology and parameters with pristine
   /// dynamic state (route cache included) — the per-shard replica parallel
   /// campaign backends run on. Replicas share nothing mutable: each has its
   /// own clock, token buckets, caches, and counters, matching the semantics
   /// of vantage points that never share a router's rate-limit budget with
-  /// themselves.
-  [[nodiscard]] Network replica() const { return Network(topo_, params_); }
+  /// themselves. What they do share is immutable: the Topology, the
+  /// parameter block (by shared_ptr — no copy), and, when attached, the
+  /// read-only route snapshot (set_shared_routes). The replica also
+  /// inherits this network's snapshot attachment.
+  [[nodiscard]] Network replica() const {
+    Network r{topo_, params_};
+    r.shared_routes_ = shared_routes_;
+    return r;
+  }
 
   [[nodiscard]] const Topology& topology() const { return topo_; }
 
@@ -226,7 +278,7 @@ class Network {
   /// ProbeSource::next_target_hint() into this.
   void prime_route(const Ipv6Addr& vantage_src, const Ipv6Addr& dst,
                    wire::Proto proto) {
-    if (params_.route_cache_entries == 0) return;
+    if (params_->route_cache_entries == 0 && !shared_routes_) return;
     const auto* vantage = topo_.vantage_by_src(vantage_src);
     if (!vantage) return;
     const auto vidx =
@@ -234,9 +286,48 @@ class Network {
     const auto meta = (vidx << 16) |
                       (static_cast<std::uint64_t>(proto) << 8);
     // The ECMP flow variant of the future probe is unknown; touch both.
-    for (std::uint64_t variant = 0; variant < kEcmpVariantPeriod; ++variant)
-      route_cache_.touch({dst.hi(), meta | variant});
+    for (std::uint64_t variant = 0; variant < kEcmpVariantPeriod; ++variant) {
+      const RouteKey key{dst.hi(), meta | variant};
+      if (shared_routes_) shared_routes_->touch(key);
+      if (params_->route_cache_entries != 0) route_cache_.touch(key);
+    }
   }
+
+  /// Attach a read-only, fully warmed route snapshot. resolve_path consults
+  /// it before the private cache: a snapshot hit costs one lock-free probe
+  /// sequence and never touches mutable state, so any number of replicas
+  /// can share one snapshot concurrently. Pass nullptr to detach.
+  ///
+  /// Purely a performance tier — the snapshot's entries are exactly what
+  /// Topology::path would return, so attaching (or not attaching, or
+  /// attaching a partial one) never changes any reply. The snapshot is
+  /// immutable configuration, like the Topology and params: it survives
+  /// reset() (which restores *dynamic* state only) and is inherited by
+  /// replica().
+  void set_shared_routes(std::shared_ptr<const RouteCache> snapshot) {
+    shared_routes_ = std::move(snapshot);
+  }
+  [[nodiscard]] const std::shared_ptr<const RouteCache>& shared_routes() const {
+    return shared_routes_;
+  }
+
+  /// Everything the route cache keys a probe on, recovered from the wire
+  /// bytes alone — what a warmup pass needs to pre-resolve the exact cache
+  /// entries a campaign will hit, without injecting anything.
+  struct ProbeRouteKey {
+    RouteKey key;                 ///< (cell, vantage|proto|variant) cache key
+    std::uint32_t vantage_index;  ///< index into topology().vantages()
+    Ipv6Addr dst;                 ///< full destination (path resolution needs it)
+    std::uint8_t next_header;     ///< wire::Proto of the probe
+    std::uint64_t flow_variant;   ///< flow_hash % kEcmpVariantPeriod
+  };
+
+  /// Decode the route-cache key a probe would resolve under, without
+  /// injecting it. Returns nullopt for malformed probes or unknown
+  /// vantages (those never reach resolve_path either). Static and
+  /// side-effect-free: safe from any thread against a shared Topology.
+  [[nodiscard]] static std::optional<ProbeRouteKey> probe_route_key(
+      const Topology& topo, std::span<const std::uint8_t> probe);
 
  private:
   void inject_impl(const Packet& probe, PacketPool& out);
@@ -262,7 +353,10 @@ class Network {
                        const Packet& probe, Packet& out) const;
 
   const Topology& topo_;
-  NetworkParams params_;
+  // Immutable tier: shared, read-only, replica-inherited. Everything below
+  // these two is private mutable state wiped by reset().
+  std::shared_ptr<const NetworkParams> params_;
+  std::shared_ptr<const RouteCache> shared_routes_;
   ProbeObserver observer_;
   std::uint64_t now_us_ = 0;
   NetworkStats stats_;

@@ -98,6 +98,28 @@ TEST_F(ParallelCampaignTest, ThreadCountNeverChangesResults) {
   expect_identical(results[0], results[2]);
 }
 
+TEST_F(ParallelCampaignTest, RouteSnapshotSharingNeverChangesResults) {
+  // The warmed shared route snapshot (ParallelRunOptions::share_route_snapshot)
+  // is a pure performance tier: on or off, at any thread count, with or
+  // without splitting, the ParallelResult must be bit-identical. Only the
+  // cost telemetry may differ — warm runs report warmed routes and one
+  // replica build per worker arena.
+  const auto t = targets(50);
+  auto warm_set = make_shards(t, 4);
+  auto cold_set = make_shards(t, 4);
+  const ParallelCampaignRunner runner{topo_, simnet::NetworkParams{}, 8};
+  const auto warm = runner.run(
+      warm_set.shards, {.split_factor = 2, .share_route_snapshot = true});
+  const auto cold = runner.run(
+      cold_set.shards, {.split_factor = 2, .share_route_snapshot = false});
+  EXPECT_GT(warm.probe_stats.probes_sent, 0u);
+  expect_identical(warm, cold);
+  // The snapshot really was warmed and consulted.
+  EXPECT_GT(warm.warmed_routes, 0u);
+  EXPECT_EQ(cold.warmed_routes, 0u);
+  EXPECT_GT(warm.net_stats.route_cache_hits, cold.net_stats.route_cache_hits);
+}
+
 TEST_F(ParallelCampaignTest, MergedReplyStreamIsTotallyOrdered) {
   const auto t = targets(40);
   auto set = make_shards(t, 4);

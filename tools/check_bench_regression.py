@@ -9,6 +9,14 @@ wrong way by more than the threshold (default 25%). Tracked metrics:
   giant_shard.split8_8threads_seconds         lower is better
   giant_shard.split8_speedup_vs_unsplit       higher is better
   doubletree_split.split4_8threads_seconds    lower is better
+  scaling.threads_8_probes_per_sec            higher is better
+  scaling.efficiency_8t                       higher is better
+
+The two `scaling` metrics track the parallel backend's 8-thread
+throughput and efficiency (speedup / 8); like every thread-sweep number
+they are only comparable between runs on identical hardware (the JSON's
+`machine.hardware_threads` stamp), which is one more reason this check
+warns instead of failing.
 
 The `giant_shard` / `doubletree_split` metrics are optional on both
 sides: the committed baseline may predate those bench sections, and a
@@ -47,6 +55,8 @@ METRICS: list[tuple[str, bool, bool]] = [
     ("giant_shard.split8_8threads_seconds", False, False),
     ("giant_shard.split8_speedup_vs_unsplit", True, False),
     ("doubletree_split.split4_8threads_seconds", False, False),
+    ("scaling.threads_8_probes_per_sec", True, False),
+    ("scaling.efficiency_8t", True, False),
 ]
 
 
