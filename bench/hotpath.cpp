@@ -39,6 +39,13 @@
 // thread-invariance gate and the bench exits nonzero if any split run
 // diverges across thread counts.
 //
+// The "churn" section re-runs the full workload with a generated
+// DynamicsSchedule live (simnet/dynamics.hpp): mid-campaign link failures,
+// ECMP re-convergences, rate-limit and loss-model swaps. Two hard gates:
+// the 1-vs-8-thread merged checksums must match with churn active, and
+// the schedule must not be inert (nonzero events applied and route-cache
+// invalidations) — both exit nonzero on failure.
+//
 // It also *verifies* the zero-allocation claim: a global operator
 // new/delete hook counts heap allocations across a steady-state window
 // (second pass over an already-warm Network), and the bench exits nonzero
@@ -64,6 +71,7 @@
 #include "campaign/runner.hpp"
 #include "prober/doubletree.hpp"
 #include "prober/yarrp6.hpp"
+#include "simnet/dynamics.hpp"
 #include "topology/collector.hpp"
 
 // ---- Allocation-counting hook ----------------------------------------------
@@ -439,6 +447,47 @@ int main(int argc, char** argv) {
                dt_split_1t.m.seconds, dt_split_2t.m.seconds, dt_split_8t.m.seconds,
                dt_deterministic ? "" : "DETERMINISM MISMATCH");
 
+  // Churn gate: the full Table 7 workload with a generated DynamicsSchedule
+  // riding the shared params block — link failures, scoped and global ECMP
+  // re-convergences, a rate-limit change and a loss/dup swap, all inside
+  // the first virtual second (every work unit runs much longer, so every
+  // replica replays the complete schedule). The merged reply streams at 1
+  // and 8 threads must be bit-identical with churn live, and the schedule
+  // must really bite: nonzero events applied and nonzero route-cache
+  // invalidations (the second global re-convergence drops the private
+  // entries accumulated after the first one bypassed the warm snapshot).
+  simnet::ChurnParams churn_cp;
+  churn_cp.seed = 5;
+  churn_cp.horizon_us = 1000000;
+  simnet::NetworkParams churn_params;
+  churn_params.dynamics = std::make_shared<const simnet::DynamicsSchedule>(
+      simnet::make_churn_schedule(
+          world.topo, world.topo.vantages()[0],
+          std::span<const Ipv6Addr>(all_targets.data(), all_targets.size()),
+          churn_cp));
+  const auto churn_1t =
+      run_pipeline(world, sets, churn_params, 1, /*collect=*/true);
+  const auto churn_8t =
+      run_pipeline(world, sets, churn_params, 8, /*collect=*/true);
+  const bool churn_deterministic =
+      churn_1t.replies == churn_8t.replies &&
+      churn_1t.reply_checksum == churn_8t.reply_checksum &&
+      churn_1t.net_stats == churn_8t.net_stats;
+  const bool churn_active = churn_8t.net_stats.dynamics_events > 0 &&
+                            churn_8t.net_stats.route_invalidations > 0;
+  std::fprintf(stderr,
+               "churn: %zu events, %llu applied, %llu invalidations, "
+               "checksum %016llx @1t / %016llx @8t %s%s\n",
+               churn_params.dynamics->size(),
+               static_cast<unsigned long long>(
+                   churn_8t.net_stats.dynamics_events),
+               static_cast<unsigned long long>(
+                   churn_8t.net_stats.route_invalidations),
+               static_cast<unsigned long long>(churn_1t.reply_checksum),
+               static_cast<unsigned long long>(churn_8t.reply_checksum),
+               churn_deterministic ? "" : "DETERMINISM MISMATCH",
+               churn_active ? "" : " SCHEDULE INERT");
+
   const auto hits = fast.net_stats.route_cache_hits;
   const auto misses = fast.net_stats.route_cache_misses;
   const double hit_rate =
@@ -586,6 +635,31 @@ int main(int argc, char** argv) {
                dt_split_1t.m.seconds, dt_split_2t.m.seconds, dt_split_8t.m.seconds,
                dt_deterministic ? "true" : "false");
   std::fprintf(out,
+               "  \"churn\": {\"desc\": \"full workload with a generated "
+               "DynamicsSchedule live (link failure/recovery, scoped+global "
+               "ECMP re-convergence, rate-limit and loss-model swaps inside "
+               "the first virtual second): the 1t and 8t merged streams must "
+               "stay bit-identical and the schedule must really fire\", "
+               "\"events\": %zu, \"dynamics_events_8t\": %llu, "
+               "\"route_invalidations_8t\": %llu, \"dup_replies_8t\": %llu, "
+               "\"replies\": %llu, \"checksum_1t\": \"%016llx\", "
+               "\"checksum_8t\": \"%016llx\", \"thread_invariant\": %s, "
+               "\"schedule_active\": %s, \"seconds_1t\": %.3f, "
+               "\"seconds_8t\": %.3f, \"probes_per_sec_1t\": %.0f, "
+               "\"probes_per_sec_8t\": %.0f},\n",
+               churn_params.dynamics->size(),
+               static_cast<unsigned long long>(
+                   churn_8t.net_stats.dynamics_events),
+               static_cast<unsigned long long>(
+                   churn_8t.net_stats.route_invalidations),
+               static_cast<unsigned long long>(churn_8t.net_stats.dup_replies),
+               static_cast<unsigned long long>(churn_8t.replies),
+               static_cast<unsigned long long>(churn_1t.reply_checksum),
+               static_cast<unsigned long long>(churn_8t.reply_checksum),
+               churn_deterministic ? "true" : "false",
+               churn_active ? "true" : "false", churn_1t.seconds,
+               churn_8t.seconds, churn_1t.pps(), churn_8t.pps());
+  std::fprintf(out,
                "  \"steady_state_allocations\": {\"probes\": %llu, "
                "\"allocations\": %llu, \"bytes\": %llu}\n",
                static_cast<unsigned long long>(alloc_check.probes),
@@ -612,6 +686,23 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "FAIL: streamed merge produced different reply streams at 1 "
                  "and 8 threads (the canonical-order contract is broken)\n");
+    return 1;
+  }
+  if (!churn_deterministic) {
+    std::fprintf(stderr,
+                 "FAIL: churn run produced different reply streams at 1 and "
+                 "8 threads (a DynamicsSchedule must be part of the campaign "
+                 "spec — replayed identically by every replica)\n");
+    return 1;
+  }
+  if (!churn_active) {
+    std::fprintf(stderr,
+                 "FAIL: churn schedule was inert (%llu events applied, %llu "
+                 "route invalidations) — the gate proved nothing\n",
+                 static_cast<unsigned long long>(
+                     churn_8t.net_stats.dynamics_events),
+                 static_cast<unsigned long long>(
+                     churn_8t.net_stats.route_invalidations));
     return 1;
   }
   if (alloc_check.allocations != 0) {

@@ -43,6 +43,19 @@
 // run() caller, which emits the canonical-order merged stream *during*
 // the run instead of sorting after the workers join.
 //
+// Network dynamics ride the immutable tier: NetworkParams::dynamics is a
+// shared_ptr'd DynamicsSchedule, so every worker's replica carries the
+// same event list, and the arena reset() between work units rewinds each
+// replica's schedule cursor to virtual time zero. A work unit therefore
+// replays the identical churn whichever worker runs it and in whatever
+// order units are stolen — churn is part of the campaign spec, like
+// split_factor, and the bit-identical thread/split gates hold with a
+// schedule active (tests/campaign/dynamics_determinism_test.cpp pins
+// this; bench_hotpath's `churn` section gates it at scale). One caveat
+// the snapshot warmup respects: a warmed route snapshot holds pre-event
+// paths, so Network::resolve_path skips it for any cell an ECMP
+// re-convergence has touched.
+//
 // Determinism contract: the shard list *and split_factor* fix the work;
 // the thread count fixes only the wall-clock. Every work unit's run is a
 // pure function of (subshard source, endpoint, pacing, topology seed,

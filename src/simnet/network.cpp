@@ -30,7 +30,10 @@ TokenBucket& Network::bucket_for(std::uint64_t router_id) {
     burst = params_->base_burst +
             static_cast<double>((hv >> 10) % 1000) / 1000.0 * params_->burst_spread;
   }
-  return buckets_.emplace(router_id, TokenBucket{rate, burst}).first->second;
+  // kRateLimitScale events multiply every budget; the event handler clears
+  // buckets_ so existing limiters re-derive here at the scaled rate.
+  return buckets_.emplace(router_id, TokenBucket{rate * rate_scale_, burst})
+      .first->second;
 }
 
 bool Network::router_silent(std::uint64_t router_id) const {
@@ -96,19 +99,30 @@ RouteCache::Resolved Network::resolve_path(const VantageInfo& vantage,
                      (vidx << 16) |
                          (static_cast<std::uint64_t>(ip.next_header) << 8) |
                          (flow_hash % kEcmpVariantPeriod)};
-  // Shared immutable tier first: a warmed snapshot hit is the cheapest
-  // resolution there is — one lock-free probe sequence over read-only
-  // memory, shared by every replica. Results are identical to resolving
-  // fresh (the snapshot is Topology::path memoized), so this short-circuit
-  // only changes cost, never replies.
-  if (shared_routes_) {
+  // ECMP re-convergence bump for this cell. The key stays bump-free on
+  // purpose: re-convergence makes the *old* entries for a cell stale, so
+  // apply_dynamics_event invalidates them from the private cache, and new
+  // resolutions under the same key carry the bumped path. Every cached
+  // entry is therefore resolved under its cell's current cumulative bump.
+  const std::uint64_t bump =
+      ecmp_scopes_.empty() ? 0 : ecmp_bump_for(ip.dst.hi());
+  const std::uint64_t eff_flow = flow_hash + bump;
+  // Shared immutable tier: a warmed snapshot hit is the cheapest resolution
+  // there is — one lock-free probe sequence over read-only memory, shared
+  // by every replica. Results are identical to resolving fresh (the
+  // snapshot is Topology::path memoized), so this short-circuit only
+  // changes cost, never replies. Ordering under dynamics matters: the
+  // snapshot holds pre-event (bump-0) paths and cannot be invalidated, so
+  // a cell any re-convergence has touched must skip it — otherwise a warm
+  // snapshot would resurrect routes the event withdrew.
+  if (bump == 0 && shared_routes_) {
     if (const auto hit = shared_routes_->find(key)) {
       ++stats_.route_cache_hits;
       return *hit;
     }
   }
   if (params_->route_cache_entries == 0) {
-    uncached_path_ = topo_.path(vantage, ip.dst, flow_hash, ip.next_header);
+    uncached_path_ = topo_.path(vantage, ip.dst, eff_flow, ip.next_header);
     uncached_hops_.clear();
     for (const auto& hop : uncached_path_.hops)
       uncached_hops_.push_back({hop.iface, hop.router_id});
@@ -127,7 +141,7 @@ RouteCache::Resolved Network::resolve_path(const VantageInfo& vantage,
   // one); the capacity is sized so campaigns stay inside it.
   if (route_cache_.size() >= params_->route_cache_entries) route_cache_.clear();
   return route_cache_.insert(key,
-                             topo_.path(vantage, ip.dst, flow_hash, ip.next_header));
+                             topo_.path(vantage, ip.dst, eff_flow, ip.next_header));
 }
 
 void Network::make_icmp_error(const Ipv6Addr& from, const Ipv6Addr& to,
@@ -203,8 +217,10 @@ std::span<const Packet> Network::inject_view(const Packet& probe) {
             "Network::inject* is not reentrant: replies alias the shared "
             "pool; do not inject from an observer");
   in_inject_ = true;
+  apply_due_dynamics();
   batch_.reset();
   inject_impl(probe, batch_.pool());
+  if (dup_prob_ > 0.0) duplicate_replies(probe, batch_.pool(), 0);
   const auto replies = batch_.pool().view();
   if (observer_) observer_(probe, replies);
   in_inject_ = false;
@@ -221,10 +237,15 @@ const BatchReplies& Network::inject_batch_view(std::span<const Packet> probes) {
             "Network::inject* is not reentrant: replies alias the shared "
             "pool; do not inject from an observer");
   in_inject_ = true;
+  // One dynamics check for the whole burst: the batch shares one send
+  // instant, so this is semantically identical to the per-call check the
+  // inject_view loop equivalent would make.
+  apply_due_dynamics();
   batch_.reset();
   for (const auto& p : probes) {
     const auto before = batch_.pool().size();
     inject_impl(p, batch_.pool());
+    if (dup_prob_ > 0.0) duplicate_replies(p, batch_.pool(), before);
     batch_.end_probe();
     if (observer_) observer_(p, batch_.pool().view().subspan(before));
   }
@@ -247,12 +268,14 @@ std::vector<std::vector<Packet>> Network::inject_batch(
 void Network::inject_impl(const Packet& probe, PacketPool& out) {
   ++stats_.probes;
   // Failure injection: lose this probe's reply with the configured
-  // probability, keyed deterministically off content and time.
-  if (params_->reply_loss > 0.0) {
+  // probability, keyed deterministically off content and time. A kLossModel
+  // dynamics event overrides the configured probability until the next one.
+  const double loss =
+      loss_override_ >= 0.0 ? loss_override_ : params_->reply_loss;
+  if (loss > 0.0) {
     std::uint64_t key = splitmix64(now_us_ ^ 0x10c355);
     for (std::size_t i = 0; i < probe.size(); i += 7) key = splitmix64(key ^ probe[i]);
-    if (static_cast<double>(key % 1000000) <
-        params_->reply_loss * 1000000.0) {
+    if (static_cast<double>(key % 1000000) < loss * 1000000.0) {
       ++stats_.lost_replies;
       return;
     }
@@ -274,6 +297,43 @@ void Network::inject_impl(const Packet& probe, PacketPool& out) {
 
   const auto path = resolve_path(*vantage, *ip, flow_hash_of(*ip, transport));
   const unsigned ttl = ip->hop_limit;
+
+  // Dynamics: a probe whose forwarding walk reaches a failed router dies
+  // there, before the hop-limit logic at or beyond it can run. The probe
+  // only travels min(ttl, hops) links, so a dead router past its hop limit
+  // is irrelevant — TTL expiry at live hops in front of it is unchanged.
+  // A loud failure answers "no route" from the hop before the dead one
+  // (the router whose FIB lost the next hop), once per target through that
+  // router's error limiter, like every other terminal unreachable; silent
+  // failures, first-hop failures, and silent previous hops just eat it.
+  if (!down_routers_.empty()) {
+    const unsigned limit = std::min<unsigned>(ttl, path.n_hops());
+    for (unsigned j = 0; j < limit; ++j) {
+      const auto down = down_routers_.find(path.hop(j).router_id);
+      if (down == down_routers_.end()) continue;
+      if (down->second != 0 || j == 0) {
+        ++stats_.silent_drops;
+        return;
+      }
+      const auto& prev = path.hop(j - 1);
+      if (router_silent(prev.router_id)) {
+        ++stats_.silent_drops;
+        return;
+      }
+      if (du_sent_.contains(ip->dst)) {
+        ++stats_.silent_drops;
+        return;
+      }
+      du_sent_.insert(ip->dst);
+      if (!consume_token(prev.router_id)) return;
+      ++stats_.dest_unreach[static_cast<unsigned>(wire::UnreachCode::kNoRoute)];
+      make_icmp_error(prev.iface, ip->src,
+                      static_cast<std::uint8_t>(Icmp6Type::kDestUnreachable),
+                      static_cast<std::uint8_t>(wire::UnreachCode::kNoRoute),
+                      probe, out.acquire());
+      return;
+    }
+  }
 
   // Hop-limit expiry inside the path: Time Exceeded, rate limited. Silent
   // routers forward but never originate ICMPv6, so they stay invisible
@@ -419,6 +479,72 @@ void Network::inject_impl(const Packet& probe, PacketPool& out) {
       // TCP RST / silent policy: no ICMPv6 visible to the prober.
       ++stats_.silent_drops;
       return;
+  }
+}
+
+void Network::apply_dynamics_event(const DynamicsEvent& ev) {
+  switch (ev.kind) {
+    case DynamicsKind::kLinkDown: {
+      auto [it, fresh] = down_routers_.emplace(
+          ev.router_id, static_cast<std::uint8_t>(ev.silent ? 1 : 0));
+      if (!fresh) it->second = static_cast<std::uint8_t>(ev.silent ? 1 : 0);
+      return;
+    }
+    case DynamicsKind::kLinkUp:
+      down_routers_.erase(ev.router_id);
+      return;
+    case DynamicsKind::kEcmpReconverge: {
+      // Invalidate before the bump takes effect: entries cached for the
+      // matched cells were resolved under the old bump and are now stale.
+      // The shared snapshot cannot be invalidated (it is read-only and
+      // shared); resolve_path skips it for any bumped cell instead.
+      if (params_->route_cache_entries != 0) {
+        if (params_->dynamics->whole_cache_flush) {
+          stats_.route_invalidations += route_cache_.size();
+          route_cache_.clear();
+        } else {
+          stats_.route_invalidations +=
+              route_cache_.invalidate_cells(ev.cell_base, ev.cell_mask);
+        }
+      }
+      for (auto& sc : ecmp_scopes_) {
+        if (sc.base == ev.cell_base && sc.mask == ev.cell_mask) {
+          sc.bump += ev.bump;
+          return;
+        }
+      }
+      ecmp_scopes_.push_back({ev.cell_base, ev.cell_mask, ev.bump});
+      return;
+    }
+    case DynamicsKind::kRateLimitScale:
+      rate_scale_ = ev.rate_scale;
+      // Budgets are derived state: drop them all and let bucket_for
+      // re-derive at the scaled rate on next use.
+      buckets_.clear();
+      return;
+    case DynamicsKind::kLossModel:
+      loss_override_ = ev.reply_loss;
+      dup_prob_ = ev.reply_dup;
+      return;
+  }
+}
+
+void Network::duplicate_replies(const Packet& probe, PacketPool& out,
+                                std::size_t first) {
+  // In-flight duplication: each reply the probe just produced is copied
+  // with probability dup_prob_, keyed deterministically off (virtual time,
+  // reply ordinal, probe content) — the same discipline as reply loss.
+  const std::size_t produced = out.size();
+  for (std::size_t i = first; i < produced; ++i) {
+    std::uint64_t key = splitmix64(now_us_ ^ 0xd0bb1e ^ (i - first + 1));
+    for (std::size_t b = 0; b < probe.size(); b += 7)
+      key = splitmix64(key ^ probe[b]);
+    if (static_cast<double>(key % 1000000) >= dup_prob_ * 1000000.0) continue;
+    // Copy by value *before* acquiring: acquire() may grow the slot vector
+    // and invalidate any reference into it.
+    Packet copy = out.view()[i];
+    out.acquire() = std::move(copy);
+    ++stats_.dup_replies;
   }
 }
 

@@ -42,6 +42,7 @@
 
 #include "netbase/dcheck.hpp"
 #include "netbase/flat_map.hpp"
+#include "simnet/dynamics.hpp"
 #include "simnet/packet_pool.hpp"
 #include "simnet/route_cache.hpp"
 #include "simnet/token_bucket.hpp"
@@ -89,6 +90,15 @@ struct NetworkParams {
   /// rather than degrades gracefully. One 64 B slot per route; ~100-130 B
   /// amortized with table slack and the shared chain-pool share.
   std::size_t route_cache_entries = std::size_t{1} << 20;
+  /// Mid-campaign network dynamics: a schedule of virtual-time-stamped
+  /// events (link failure/recovery, ECMP re-convergence, rate-limiter
+  /// budget changes, loss-model swaps) the network applies on its
+  /// virtual-clock boundary inside inject_view/inject_batch_view. Shared
+  /// and immutable like the rest of this block: every replica of a
+  /// parallel campaign replays the identical event stream against its own
+  /// clock, so churn is part of the campaign spec and the bit-identical
+  /// thread/split gates hold with it active. Null = static network.
+  std::shared_ptr<const DynamicsSchedule> dynamics;
 };
 
 /// Counters the trial benchmarks report (Tables 3, 4 and Figure 5 all
@@ -101,6 +111,7 @@ struct NetworkStats {
   std::uint64_t rate_limited = 0;      // responses suppressed by a bucket
   std::uint64_t silent_drops = 0;      // policy drops / dead hosts / ND cache
   std::uint64_t lost_replies = 0;      // injected in-flight loss
+  std::uint64_t dup_replies = 0;       // injected in-flight duplication
   std::uint64_t malformed = 0;
   // ---- Performance counters -------------------------------------------
   // Everything below reports *cost*, not behaviour: cache on vs. off, a
@@ -115,6 +126,15 @@ struct NetworkStats {
   /// reports 1 however many units it ran, so a parallel merge shows the
   /// number of Network builds actually constructed, not work units run.
   std::uint64_t replica_builds = 0;
+  /// Dynamics events applied so far (a mechanism counter: each replica of
+  /// a parallel run replays the schedule, so the total scales with work
+  /// units, not with behaviour).
+  std::uint64_t dynamics_events = 0;
+  /// Private route-cache entries dropped by ECMP re-convergence events.
+  /// Cost, not behaviour: a warmed shared snapshot keeps the private
+  /// cache emptier (fewer entries to drop), and the whole_cache_flush
+  /// oracle drops more — with byte-identical replies either way.
+  std::uint64_t route_invalidations = 0;
 
   [[nodiscard]] std::uint64_t dest_unreach_total() const {
     std::uint64_t s = 0;
@@ -135,16 +155,21 @@ struct NetworkStats {
     rate_limited += o.rate_limited;
     silent_drops += o.silent_drops;
     lost_replies += o.lost_replies;
+    dup_replies += o.dup_replies;
     malformed += o.malformed;
     route_cache_hits += o.route_cache_hits;
     route_cache_misses += o.route_cache_misses;
     replica_builds += o.replica_builds;
+    dynamics_events += o.dynamics_events;
+    route_invalidations += o.route_invalidations;
     return *this;
   }
   /// Behavioural equality: every reply-shaping counter, with the
-  /// performance counters (route_cache_hits/misses, replica_builds)
-  /// excluded — those measure how cheaply the same replies were produced,
-  /// and legitimately differ between cold-cache and warmed-shared runs.
+  /// performance counters (route_cache_hits/misses, replica_builds,
+  /// dynamics_events, route_invalidations) excluded — those measure how
+  /// cheaply (or through which mechanism) the same replies were produced,
+  /// and legitimately differ between cold-cache and warmed-shared runs, or
+  /// between scoped invalidation and the whole-flush oracle.
   friend bool operator==(const NetworkStats& a, const NetworkStats& b) {
     return a.probes == b.probes && a.time_exceeded == b.time_exceeded &&
            a.echo_replies == b.echo_replies &&
@@ -152,7 +177,8 @@ struct NetworkStats {
                       std::begin(b.dest_unreach)) &&
            a.rate_limited == b.rate_limited &&
            a.silent_drops == b.silent_drops &&
-           a.lost_replies == b.lost_replies && a.malformed == b.malformed;
+           a.lost_replies == b.lost_replies &&
+           a.dup_replies == b.dup_replies && a.malformed == b.malformed;
   }
 };
 
@@ -232,6 +258,16 @@ class Network {
     frag_id_.clear();
     route_cache_.clear();
     batch_.reset();
+    // Dynamics state: rewind the schedule cursor and undo every applied
+    // event — a reset network replays the schedule from virtual time zero,
+    // which is what makes run → reset → run byte-identical with churn
+    // active (and what lets arena replicas reset() between work units).
+    dyn_next_ = 0;
+    down_routers_.clear();
+    ecmp_scopes_.clear();
+    rate_scale_ = 1.0;
+    loss_override_ = -1.0;
+    dup_prob_ = 0.0;
   }
 
   [[nodiscard]] const NetworkParams& params() const { return *params_; }
@@ -331,6 +367,35 @@ class Network {
 
  private:
   void inject_impl(const Packet& probe, PacketPool& out);
+  /// Apply every schedule event whose at_us has been reached by the virtual
+  /// clock. Called on the clock boundary of inject_view / inject_batch_view
+  /// (a batch shares one send instant, so one check covers it). The hot-path
+  /// cost with no schedule is one null check; with one, a cursor compare.
+  void apply_due_dynamics() {
+    const auto* sched = params_->dynamics.get();
+    if (!sched) return;
+    const auto& evs = sched->events();
+    while (dyn_next_ < evs.size() && evs[dyn_next_].at_us <= now_us_) {
+      apply_dynamics_event(evs[dyn_next_]);
+      ++dyn_next_;
+      ++stats_.dynamics_events;
+    }
+  }
+  B6_COLDPATH void apply_dynamics_event(const DynamicsEvent& ev);
+  /// Flow-hash bump accumulated by ECMP re-convergence events over `cell`
+  /// (0 when no event matched it). Part of resolve_path's key→path contract
+  /// under dynamics: the effective flow hash is flow_hash + bump.
+  [[nodiscard]] std::uint64_t ecmp_bump_for(std::uint64_t cell) const {
+    std::uint64_t bump = 0;
+    for (const auto& sc : ecmp_scopes_)
+      if ((cell & sc.mask) == sc.base) bump += sc.bump;
+    return bump;
+  }
+  /// Probabilistically duplicate the replies a probe just produced (the
+  /// kLossModel reply_dup knob): deterministic in (virtual time, probe
+  /// bytes), appends value-copies to the pool.
+  B6_COLDPATH void duplicate_replies(const Packet& probe, PacketPool& out,
+                                     std::size_t first);
   void reply_to_interface_echo(const wire::Ipv6Header& ip,
                                std::uint64_t router_id, const Packet& probe,
                                PacketPool& out);
@@ -372,6 +437,23 @@ class Network {
   // resolution exploits.
   netbase::FlatMap<std::uint64_t, std::uint32_t> frag_id_;
   RouteCache route_cache_;
+  // ---- Dynamics state (all wiped by reset(); see apply_dynamics_event) --
+  std::size_t dyn_next_ = 0;  // cursor into params_->dynamics' event list
+  // Routers currently down; the value is the failure's `silent` flag.
+  netbase::FlatMap<std::uint64_t, std::uint8_t> down_routers_;
+  // Accumulated ECMP re-convergence scopes. A probe's cell sums the bumps
+  // of every matching scope (see ecmp_bump_for). Scopes are merged when a
+  // new event repeats an existing (base, mask), so the list stays a
+  // handful of entries however long the schedule runs.
+  struct EcmpScope {
+    std::uint64_t base;
+    std::uint64_t mask;
+    std::uint64_t bump;
+  };
+  std::vector<EcmpScope> ecmp_scopes_;
+  double rate_scale_ = 1.0;      // kRateLimitScale multiplier on bucket rates
+  double loss_override_ = -1.0;  // kLossModel reply loss; <0 = use params
+  double dup_prob_ = 0.0;        // kLossModel reply duplication probability
   // Scratch for cache-disabled resolution (capacity reused across probes).
   Path uncached_path_;
   std::vector<RouteCache::CompactHop> uncached_hops_;

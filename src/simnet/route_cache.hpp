@@ -150,6 +150,40 @@ class RouteCache {
     n_entries_ = 0;
   }
 
+  /// Drop every entry whose cell matches (cell & mask) == base — the
+  /// scoped invalidation ECMP re-convergence events use — and return how
+  /// many were dropped. (base, mask) == (0, 0) matches everything and
+  /// degrades to clear(). Open addressing cannot tombstone-free delete in
+  /// place, so survivors are collected and re-placed: a cold event-path
+  /// cost (it allocates a scratch vector — allowlisted in
+  /// tools/check_noalloc.py), never a per-probe one. Interned chains of
+  /// dropped entries stay in the pool until the next clear(); that leak is
+  /// bounded by the chain pool's pre-invalidation size and costs memory,
+  /// not correctness — surviving locators keep pointing at valid storage.
+  B6_COLDPATH std::size_t invalidate_cells(std::uint64_t base,
+                                           std::uint64_t mask) {
+    if (n_entries_ == 0) return 0;
+    if (mask == 0 && base == 0) {
+      const std::size_t dropped = n_entries_;
+      clear();
+      return dropped;
+    }
+    std::vector<Slot> survivors;
+    survivors.reserve(n_entries_);
+    std::size_t dropped = 0;
+    for (auto& s : slots_) {
+      if (s.meta == kVacant) continue;
+      if ((s.cell & mask) == base)
+        ++dropped;
+      else
+        survivors.push_back(s);
+      s.meta = kVacant;
+    }
+    n_entries_ = survivors.size();
+    for (const auto& s : survivors) place(s);
+    return dropped;
+  }
+
  private:
   // One cache line per cell: key (16) + gateway hop (24) + chain locator
   // (6) + disposition (2) + ASN (4), padded to exactly one line by the

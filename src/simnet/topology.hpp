@@ -104,6 +104,13 @@ struct Hop {
 /// flow_hash mod this period — the contract Network's route cache keys on.
 /// Widening ECMP groups must update this constant (and the route-cache key
 /// with it); the oracle property suite cross-checks the invariance.
+///
+/// Dynamics lean on the same contract from the other side: an ECMP
+/// re-convergence event (simnet/dynamics.hpp) adds a bump to the flow hash
+/// of affected cells before path() resolves, so adding any odd bump flips
+/// every width-2 hop deterministically — a re-hash without new oracle
+/// machinery. The bump stays out of the route-cache key on purpose: stale
+/// entries are invalidated instead (see Network::resolve_path).
 inline constexpr std::uint64_t kEcmpVariantPeriod = 2;
 
 /// Why a path ends where it does — determines the terminal response.

@@ -9,6 +9,7 @@
 #include <memory>
 #include <vector>
 
+#include "simnet/dynamics.hpp"
 #include "simnet/network.hpp"
 #include "wire/probe.hpp"
 
@@ -139,6 +140,58 @@ TEST_F(ReplicaTest, WarmSnapshotChangesCostNeverReplies) {
   // exactly why).
   EXPECT_EQ(warm.stats().route_cache_misses, 0u);
   EXPECT_GT(warm.stats().route_cache_hits, 0u);
+}
+
+TEST_F(ReplicaTest, WarmSnapshotNeverResurrectsPreChurnRoutes) {
+  // Regression for the snapshot-vs-dynamics staleness hazard: the warmed
+  // snapshot holds pre-churn (bump-0) paths and cannot be invalidated, so
+  // resolve_path must check the ECMP re-convergence state *before*
+  // consulting it — a snapshot hit for a re-converged cell would resurrect
+  // a withdrawn route. Warm and cold networks replaying the same global
+  // re-convergence schedule must stay byte-identical.
+  const auto targets = some_targets(8);
+  ASSERT_GE(targets.size(), 4u);
+
+  // Vacuity guard: at least one probed path must actually flip under a
+  // bump of 1, or this test would pass with resolve_path ordered wrong.
+  bool any_flip = false;
+  const auto& vantage = topo_.vantages()[0];
+  for (const auto& t : targets) {
+    const auto key = Network::probe_route_key(topo_, probe_packet(t, 1));
+    ASSERT_TRUE(key.has_value());
+    const auto base = topo_.path(vantage, t, key->flow_variant, key->next_header);
+    const auto bumped =
+        topo_.path(vantage, t, key->flow_variant + 1, key->next_header);
+    ASSERT_EQ(base.hops.size(), bumped.hops.size());
+    for (std::size_t i = 0; i < base.hops.size(); ++i)
+      any_flip |= base.hops[i].iface != bumped.hops[i].iface;
+  }
+  ASSERT_TRUE(any_flip) << "no ECMP-sensitive path among the targets";
+
+  DynamicsSchedule schedule;
+  for (const std::uint64_t at : {std::uint64_t{2000}, std::uint64_t{6000}}) {
+    DynamicsEvent ev;
+    ev.kind = DynamicsKind::kEcmpReconverge;
+    ev.at_us = at;  // inside the sweep's first target's TTL loop
+    schedule.add(ev);
+  }
+  NetworkParams np;
+  np.dynamics = std::make_shared<const DynamicsSchedule>(std::move(schedule));
+
+  Network cold{topo_, np};
+  const auto cold_replies = sweep(cold, targets);
+
+  Network warm{topo_, np};
+  warm.set_shared_routes(warm_snapshot(targets));
+  const auto warm_replies = sweep(warm, targets);
+
+  EXPECT_EQ(cold_replies, warm_replies);
+  EXPECT_EQ(cold.stats(), warm.stats());
+  EXPECT_GT(warm.stats().dynamics_events, 0u);
+  // The snapshot served the pre-churn probes, then was bypassed: the warm
+  // network really resolved fresh routes after the re-convergence.
+  EXPECT_GT(warm.stats().route_cache_hits, 0u);
+  EXPECT_GT(warm.stats().route_cache_misses, 0u);
 }
 
 TEST_F(ReplicaTest, SnapshotIsImmutableConfigurationAcrossResetAndReplica) {

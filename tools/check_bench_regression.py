@@ -11,6 +11,15 @@ wrong way by more than the threshold (default 25%). Tracked metrics:
   doubletree_split.split4_8threads_seconds    lower is better
   scaling.threads_8_probes_per_sec            higher is better
   scaling.efficiency_8t                       higher is better
+  churn.probes_per_sec_1t                     higher is better
+  churn.probes_per_sec_8t                     higher is better
+
+The `churn` metrics track throughput with a DynamicsSchedule live; the
+dynamics check on the hot path (a null test with no schedule, a cursor
+compare with one) must stay cheap, and these advisory numbers are the
+trajectory record for that. Correctness under churn is NOT this script's
+job: bench_hotpath itself hard-fails (nonzero exit) when the 1t/8t churn
+checksums diverge or the schedule is inert.
 
 The two `scaling` metrics track the parallel backend's 8-thread
 throughput and efficiency (speedup / 8); like every thread-sweep number
@@ -57,6 +66,8 @@ METRICS: list[tuple[str, bool, bool]] = [
     ("doubletree_split.split4_8threads_seconds", False, False),
     ("scaling.threads_8_probes_per_sec", True, False),
     ("scaling.efficiency_8t", True, False),
+    ("churn.probes_per_sec_1t", True, False),
+    ("churn.probes_per_sec_8t", True, False),
 ]
 
 

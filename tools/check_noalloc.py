@@ -121,6 +121,16 @@ DEFAULT_GATES: list[tuple[str, str]] = [
      "reach it"),
     (r"beholder6::simnet::Topology::as_path\(",
      "BFS memo fill behind the shared_mutex; memoized after first touch"),
+    (r"beholder6::simnet::Network::apply_dynamics_event\(",
+     "scheduled churn application: runs once per DynamicsEvent (a handful "
+     "per campaign), never on the eventless fast path — the inline "
+     "apply_due_dynamics() cursor check costs one compare (B6_COLDPATH)"),
+    (r"beholder6::simnet::Network::duplicate_replies\(",
+     "reply duplication under a kLossModel swap: dup_prob_ is 0.0 with no "
+     "schedule, so the steady state never enters it (B6_COLDPATH)"),
+    (r"beholder6::simnet::RouteCache::invalidate_cells\(",
+     "ECMP re-convergence invalidation: survivor collection allocates a "
+     "scratch vector, once per re-convergence event (B6_COLDPATH)"),
     (r"beholder6::simnet::Topology::hosts_in\(",
      "per-/64 host enumeration, used by seed generation and the gateway "
      "oracle's cold half — host_at is the hot-path liveness oracle and "

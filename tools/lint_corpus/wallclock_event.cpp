@@ -1,0 +1,59 @@
+// Seeded violations for the raw-random rule's wall-clock surface, in the
+// shape that matters for network dynamics: a churn event stamped from an
+// OS clock instead of the virtual clock. Never compiled — linter
+// regression corpus (lint_determinism.py --self-test).
+#include <chrono>
+#include <cstdint>
+#include <ctime>
+#include <sys/time.h>
+
+namespace corpus {
+
+struct Event {
+  std::uint64_t at_us = 0;  // virtual microseconds — the only legal clock
+};
+
+Event stamp_from_chrono() {
+  Event ev;
+  const auto now = std::chrono::steady_clock::now();  // lint-expect(raw-random)
+  ev.at_us = static_cast<std::uint64_t>(
+      now.time_since_epoch().count());
+  return ev;
+}
+
+Event stamp_from_gettimeofday() {
+  Event ev;
+  timeval tv{};
+  gettimeofday(&tv, nullptr);  // lint-expect(raw-random)
+  ev.at_us = static_cast<std::uint64_t>(tv.tv_sec) * 1000000u +
+             static_cast<std::uint64_t>(tv.tv_usec);
+  return ev;
+}
+
+Event stamp_from_clock_gettime() {
+  Event ev;
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);  // lint-expect(raw-random)
+  ev.at_us = static_cast<std::uint64_t>(ts.tv_sec) * 1000000u +
+             static_cast<std::uint64_t>(ts.tv_nsec) / 1000u;
+  return ev;
+}
+
+Event stamp_from_timespec_get() {
+  Event ev;
+  timespec ts{};
+  timespec_get(&ts, TIME_UTC);  // lint-expect(raw-random)
+  ev.at_us = static_cast<std::uint64_t>(ts.tv_sec) * 1000000u;
+  return ev;
+}
+
+// The legal form: the event timestamp is a pure function of virtual time.
+// Identifiers containing the banned names as substrings must not fire.
+Event virtual_time_is_the_contract(std::uint64_t virtual_now_us,
+                                   std::uint64_t gettimeofday_free_offset) {
+  Event ev;
+  ev.at_us = virtual_now_us + gettimeofday_free_offset / 2;
+  return ev;
+}
+
+}  // namespace corpus

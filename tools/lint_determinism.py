@@ -28,11 +28,16 @@ unordered-iter
 raw-random
     Entropy or wall-clock sources outside netbase/rng.hpp: rand(),
     srand(), std::random_device, time(), clock(), getrandom,
-    /dev/urandom, and std::chrono::{system,steady,high_resolution}_clock.
-    All stochastic behaviour must flow from the seeded SplitMix64 /
-    Xoshiro256** machinery in netbase/rng.hpp so a single 64-bit seed
-    reproduces a campaign exactly; wall-clock reads in the library are
-    either dead (virtual time exists) or a determinism leak.
+    /dev/urandom, std::chrono::{system,steady,high_resolution}_clock,
+    and the POSIX clock surface (gettimeofday, clock_gettime,
+    timespec_get). All stochastic behaviour must flow from the seeded
+    SplitMix64 / Xoshiro256** machinery in netbase/rng.hpp so a single
+    64-bit seed reproduces a campaign exactly; wall-clock reads in the
+    library are either dead (virtual time exists) or a determinism leak.
+    This matters doubly for network dynamics: a DynamicsEvent's at_us is
+    a *virtual* timestamp compared against Network::now_us(), never an
+    OS clock — stamping an event from wall time would make churn replay
+    differently per run and per thread count.
 
 pointer-key
     Pointer values used as sort keys or hash inputs: std::hash over a
@@ -107,6 +112,8 @@ RAW_RANDOM_PATTERNS = [
     (re.compile(r"/dev/u?random"), "/dev/urandom"),
     (re.compile(r"\b(?:system_clock|steady_clock|high_resolution_clock)\b"),
      "std::chrono wall clock"),
+    (re.compile(r"\b(?:gettimeofday|clock_gettime|timespec_get)\b"),
+     "OS wall-clock read"),
 ]
 
 POINTER_HASH_RE = re.compile(r"std::hash\s*<[^<>]*\*\s*(?:const\s*)?>")
