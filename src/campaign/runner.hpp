@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <queue>
 #include <span>
 #include <vector>
@@ -115,6 +116,17 @@ class CampaignRunner {
 
   /// True when every registered source has been driven to exhaustion.
   [[nodiscard]] bool done() const { return queue_.empty(); }
+
+  /// The virtual due time of the next pending send slot (the heap head), or
+  /// nullopt once every source is exhausted. This is the seam that exposes
+  /// the step loop to a layer above: CampaignReactor maps each tenant
+  /// runner's local due time onto its own global clock and pops the
+  /// earliest slot across tenants, so many runners interleave in one
+  /// virtual order without the runner knowing it has siblings.
+  [[nodiscard]] std::optional<std::uint64_t> next_due_us() const {
+    if (queue_.empty()) return std::nullopt;
+    return queue_.top().due_us;
+  }
 
   /// Stats so far (complete only for exhausted sources' private counters).
   [[nodiscard]] const std::vector<ProbeStats>& stats() const { return stats_; }

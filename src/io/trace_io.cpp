@@ -91,22 +91,43 @@ std::optional<std::uint32_t> get_u32(std::istream& in) {
          static_cast<std::uint32_t>(static_cast<std::uint8_t>(b[3]));
 }
 
+void put_record(std::ostream& out, const TraceRecord& rec) {
+  out.write(reinterpret_cast<const char*>(rec.target.bytes().data()), 16);
+  out.write(reinterpret_cast<const char*>(rec.responder.bytes().data()), 16);
+  const std::array<char, 4> fields{static_cast<char>(rec.ttl),
+                                   static_cast<char>(rec.type),
+                                   static_cast<char>(rec.code),
+                                   static_cast<char>(rec.instance)};
+  out.write(fields.data(), 4);
+  put_u32(out, rec.rtt_us);
+}
+
+std::optional<TraceRecord> get_record(std::istream& in) {
+  std::array<char, kRecordSize - 4> buf{};
+  if (!in.read(buf.data(), buf.size())) return std::nullopt;
+  TraceRecord rec;
+  std::array<std::uint8_t, 16> a{};
+  std::copy_n(buf.begin(), 16, reinterpret_cast<char*>(a.data()));
+  rec.target = Ipv6Addr{a};
+  std::copy_n(buf.begin() + 16, 16, reinterpret_cast<char*>(a.data()));
+  rec.responder = Ipv6Addr{a};
+  rec.ttl = static_cast<std::uint8_t>(buf[32]);
+  rec.type = static_cast<std::uint8_t>(buf[33]);
+  rec.code = static_cast<std::uint8_t>(buf[34]);
+  rec.instance = static_cast<std::uint8_t>(buf[35]);
+  const auto rtt = get_u32(in);
+  if (!rtt) return std::nullopt;
+  rec.rtt_us = *rtt;
+  return rec;
+}
+
 }  // namespace
 
 void write_binary(std::ostream& out, const std::vector<TraceRecord>& records) {
   put_u32(out, kBinaryMagic);
   put_u32(out, kBinaryVersion);
   put_u32(out, static_cast<std::uint32_t>(records.size()));
-  for (const auto& rec : records) {
-    out.write(reinterpret_cast<const char*>(rec.target.bytes().data()), 16);
-    out.write(reinterpret_cast<const char*>(rec.responder.bytes().data()), 16);
-    const std::array<char, 4> fields{static_cast<char>(rec.ttl),
-                                     static_cast<char>(rec.type),
-                                     static_cast<char>(rec.code),
-                                     static_cast<char>(rec.instance)};
-    out.write(fields.data(), 4);
-    put_u32(out, rec.rtt_us);
-  }
+  for (const auto& rec : records) put_record(out, rec);
 }
 
 std::optional<std::vector<TraceRecord>> read_binary(std::istream& in) {
@@ -118,26 +139,53 @@ std::optional<std::vector<TraceRecord>> read_binary(std::istream& in) {
   if (!count) return std::nullopt;
 
   std::vector<TraceRecord> records;
+  if (*count == kBinaryStreamCount) {
+    // Open-ended stream framing: records until EOF. A clean EOF at a
+    // record boundary ends the stream; a partial record is truncation.
+    while (in.peek() != std::istream::traits_type::eof()) {
+      const auto rec = get_record(in);
+      if (!rec) return std::nullopt;
+      records.push_back(*rec);
+    }
+    return records;
+  }
   records.reserve(*count);
   for (std::uint32_t i = 0; i < *count; ++i) {
-    std::array<char, kRecordSize - 4> buf{};
-    if (!in.read(buf.data(), buf.size())) return std::nullopt;
-    TraceRecord rec;
-    std::array<std::uint8_t, 16> a{};
-    std::copy_n(buf.begin(), 16, reinterpret_cast<char*>(a.data()));
-    rec.target = Ipv6Addr{a};
-    std::copy_n(buf.begin() + 16, 16, reinterpret_cast<char*>(a.data()));
-    rec.responder = Ipv6Addr{a};
-    rec.ttl = static_cast<std::uint8_t>(buf[32]);
-    rec.type = static_cast<std::uint8_t>(buf[33]);
-    rec.code = static_cast<std::uint8_t>(buf[34]);
-    rec.instance = static_cast<std::uint8_t>(buf[35]);
-    const auto rtt = get_u32(in);
-    if (!rtt) return std::nullopt;
-    rec.rtt_us = *rtt;
-    records.push_back(rec);
+    const auto rec = get_record(in);
+    if (!rec) return std::nullopt;
+    records.push_back(*rec);
   }
   return records;
+}
+
+BinaryStreamWriter::BinaryStreamWriter(std::ostream& out) : out_(out) {
+  put_u32(out_, kBinaryMagic);
+  put_u32(out_, kBinaryVersion);
+  put_u32(out_, kBinaryStreamCount);
+}
+
+void BinaryStreamWriter::write(const TraceRecord& rec) {
+  put_record(out_, rec);
+  ++count_;
+}
+
+StreamingTraceSink::StreamingTraceSink(std::ostream& out, Format format) {
+  if (format == Format::kText)
+    text_.emplace(out);
+  else
+    binary_.emplace(out);
+}
+
+void StreamingTraceSink::operator()(const wire::DecodedReply& reply) {
+  const auto rec = TraceRecord::from_reply(reply);
+  if (text_)
+    text_->write(rec);
+  else
+    binary_->write(rec);
+}
+
+std::size_t StreamingTraceSink::written() const {
+  return text_ ? text_->written() : binary_->written();
 }
 
 }  // namespace beholder6::io

@@ -93,10 +93,54 @@ struct TextReadResult {
 inline constexpr std::uint32_t kBinaryMagic = 0x42365452;  // "B6TR"
 inline constexpr std::uint16_t kBinaryVersion = 1;
 
+/// Stream framing sentinel: a binary header whose count field holds this
+/// value declares an *open-ended* stream — records follow until EOF. A
+/// long-running campaign cannot know its final record count up front, and
+/// a pipe cannot seek back to patch the header, so incremental writers use
+/// this framing; read_binary accepts both.
+inline constexpr std::uint32_t kBinaryStreamCount = 0xffffffffu;
+
 /// Write a whole campaign: header + fixed-width records.
 void write_binary(std::ostream& out, const std::vector<TraceRecord>& records);
 
-/// Read a whole campaign; nullopt on bad magic/version/truncation.
+/// Read a whole campaign; nullopt on bad magic/version/truncation. Accepts
+/// both the counted framing and the kBinaryStreamCount open-ended framing.
 [[nodiscard]] std::optional<std::vector<TraceRecord>> read_binary(std::istream& in);
+
+/// Incremental binary writer: header up front (open-ended framing), one
+/// fixed-width record per write(), nothing buffered beyond the ostream's
+/// own buffer — an interrupted campaign keeps every record already
+/// written, which is the contract that lets the campaign reactor stream
+/// results per tenant instead of delivering them at exhaustion.
+class BinaryStreamWriter {
+ public:
+  explicit BinaryStreamWriter(std::ostream& out);
+  void write(const TraceRecord& rec);
+  [[nodiscard]] std::size_t written() const { return count_; }
+
+ private:
+  std::ostream& out_;
+  std::size_t count_ = 0;
+};
+
+/// ResponseSink-shaped adapter over either incremental writer: converts
+/// each wire::DecodedReply to a TraceRecord and appends it to the stream
+/// immediately, in delivery order. Callable where a
+/// campaign::ResponseSink is expected (this header cannot name that type —
+/// io sits below campaign in the layering — but the call signature is the
+/// contract). The usual sink rules apply: it observes and records, and
+/// must not inject into the campaign's own network.
+class StreamingTraceSink {
+ public:
+  enum class Format : std::uint8_t { kText, kBinary };
+
+  StreamingTraceSink(std::ostream& out, Format format);
+  void operator()(const wire::DecodedReply& reply);
+  [[nodiscard]] std::size_t written() const;
+
+ private:
+  std::optional<TextWriter> text_;
+  std::optional<BinaryStreamWriter> binary_;
+};
 
 }  // namespace beholder6::io

@@ -38,6 +38,35 @@ class TokenBucket {
     return tokens_;
   }
 
+  /// Unconditionally take `n` tokens at virtual time `now_us`, letting the
+  /// balance go negative (token debt). Debt models work that has already
+  /// been committed — a whole burst window emitted at one send instant —
+  /// whose cost must still be paid back before ready_at_us() reopens the
+  /// bucket. The campaign reactor's per-tenant service buckets are the
+  /// client: they debit one token per probe after a scheduling step emits,
+  /// then park the tenant until the debt clears.
+  void debit(double n, std::uint64_t now_us) {
+    refill(now_us);
+    tokens_ -= n;
+  }
+
+  /// Earliest virtual time at or after `now_us` when one whole token will
+  /// be available. Pure scheduling arithmetic — nothing is consumed — so a
+  /// scheduler can sleep a throttled consumer until exactly this instant
+  /// instead of polling try_consume(). Requires rate() > 0 when the bucket
+  /// is in deficit. Deterministic: a pure function of (state, now_us), and
+  /// like refill() it never rewinds — a `now_us` before the last refill
+  /// just reads the current balance.
+  [[nodiscard]] std::uint64_t ready_at_us(std::uint64_t now_us) {
+    refill(now_us);
+    if (tokens_ >= 1.0) return now_us;
+    // Ceiling via truncate-plus-one: the slot must not land a fraction of a
+    // microsecond early, and an exact integral deficit waiting one extra
+    // microsecond costs nothing (the refill covers it either way).
+    const double deficit_us = (1.0 - tokens_) * 1e6 / rate_;
+    return now_us + static_cast<std::uint64_t>(deficit_us) + 1;
+  }
+
   [[nodiscard]] double rate() const { return rate_; }
   [[nodiscard]] double burst() const { return burst_; }
 

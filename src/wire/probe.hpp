@@ -59,6 +59,8 @@ struct ProbeState {
   /// False if the quoted destination no longer matches the target checksum
   /// carried in the source port / ICMPv6 id (in-path rewriting).
   bool target_checksum_ok = true;
+
+  friend bool operator==(const ProbeState&, const ProbeState&) = default;
 };
 
 /// A decoded reply to a yarrp6 probe.
@@ -68,6 +70,8 @@ struct DecodedReply {
   std::uint8_t code = 0;
   ProbeState probe;           // state recovered from the quotation
   std::uint32_t rtt_us = 0;   // receive elapsed − send elapsed
+
+  friend bool operator==(const DecodedReply&, const DecodedReply&) = default;
 };
 
 /// Serialize a probe to wire bytes (IPv6 + transport + 12B yarrp payload),

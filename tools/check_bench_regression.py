@@ -68,6 +68,15 @@ METRICS: list[tuple[str, bool, bool]] = [
     ("scaling.efficiency_8t", True, False),
     ("churn.probes_per_sec_1t", True, False),
     ("churn.probes_per_sec_8t", True, False),
+    # bench_reactor (BENCH_reactor.json): multi-tenant campaign service.
+    # Throughput regresses by shrinking; per-slot scheduling latency (the
+    # p99 step() dispatch cost) regresses by growing. Compared with
+    # --only reactor, since these live in a different JSON than the
+    # hot-path metrics and fast_path.probes_per_sec is required there.
+    ("reactor.small_probes_per_sec", True, False),
+    ("reactor.small_p99_sched_us", False, False),
+    ("reactor.large_probes_per_sec", True, False),
+    ("reactor.large_p99_sched_us", False, False),
 ]
 
 
@@ -107,13 +116,28 @@ def main() -> int:
     ap.add_argument("--threshold", type=float, default=0.25,
                     help="warn when a metric moved the wrong way by more "
                          "than this fraction (default 0.25)")
+    ap.add_argument("--only", metavar="PREFIX", default=None,
+                    help="restrict the comparison to metrics whose dotted "
+                         "path starts with PREFIX (e.g. --only reactor for "
+                         "BENCH_reactor.json); a prefix selecting no known "
+                         "metric, or one none of whose metrics appear in "
+                         "the fresh JSON, exits 2 (broken wiring)")
     args = ap.parse_args()
 
     base_doc = load(args.baseline)
     fresh_doc = load(args.fresh)
 
+    metrics = METRICS
+    if args.only is not None:
+        metrics = [m for m in METRICS if m[0].startswith(args.only)]
+        if not metrics:
+            die(f"--only {args.only!r} selects no known metric")
+        if all(lookup(fresh_doc, path, args.fresh, False) is None
+               for path, _, _ in metrics):
+            die(f"{args.fresh} has none of the --only {args.only!r} metrics")
+
     warned = False
-    for path, higher_better, required in METRICS:
+    for path, higher_better, required in metrics:
         base = lookup(base_doc, path, args.baseline, required)
         fresh = lookup(fresh_doc, path, args.fresh, required)
         if base is None or fresh is None:
